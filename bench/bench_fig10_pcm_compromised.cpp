@@ -1,0 +1,15 @@
+// Fig. 10: PCM with B = 0.2 where 7 pretrusted nodes are compromised into
+// the collusion. Paper shape: the 0.5-weighted ratings of compromised
+// pretrusted nodes boost their conspired colluders dramatically under
+// plain EigenTrust; EigenTrust+SocialTrust detects the high-frequency
+// pairs and collapses both the colluders and the compromised pretrusted.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  st::bench::Context ctx(argc, argv, "fig10_pcm_compromised");
+  st::collusion::CollusionOptions options;
+  options.compromised_pretrusted = 7;
+  st::bench::collusion_figure(ctx, "Fig10", "PCM", options, 0.2,
+                              {"EigenTrust", "EigenTrust+SocialTrust"});
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fig. 11: multiple-node collusion (MCM), B = 0.6 — 7 boosted colluders
+// receive high-frequency ratings from 23 boosting colluders with no
+// back-rating. Paper shape: boosted nodes rise, boosting nodes stay low;
+// SocialTrust suppresses both.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  st::bench::Context ctx(argc, argv, "fig11_mcm_b06");
+  st::bench::collusion_figure(ctx, "Fig11", "MCM", {}, 0.6,
+                              {"EigenTrust", "eBay", "EigenTrust+SocialTrust",
+                               "eBay+SocialTrust"});
+  return 0;
+}

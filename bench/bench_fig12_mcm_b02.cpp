@@ -1,0 +1,13 @@
+// Fig. 12: MCM with B = 0.2. Paper shape: with low-QoS boosting nodes the
+// rating weights stay negligible, so even the boosted nodes stay low under
+// EigenTrust; eBay's unweighted votes leave them slightly higher;
+// SocialTrust suppresses further.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  st::bench::Context ctx(argc, argv, "fig12_mcm_b02");
+  st::bench::collusion_figure(ctx, "Fig12", "MCM", {}, 0.2,
+                              {"EigenTrust", "eBay", "EigenTrust+SocialTrust",
+                               "eBay+SocialTrust"});
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fig. 13: multiple-and-mutual collusion (MMM), B = 0.6 — boosting nodes
+// rate random boosted nodes 20x per query cycle, boosted nodes rate back
+// 5x. Paper shape: both boosted and boosting reach high reputations
+// (higher than under MCM); SocialTrust collapses them.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  st::bench::Context ctx(argc, argv, "fig13_mmm_b06");
+  st::bench::collusion_figure(ctx, "Fig13", "MMM", {}, 0.6,
+                              {"EigenTrust", "eBay", "EigenTrust+SocialTrust",
+                               "eBay+SocialTrust"});
+  return 0;
+}

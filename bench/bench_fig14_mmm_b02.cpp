@@ -1,0 +1,12 @@
+// Fig. 14: MMM with B = 0.2. Paper shape: unlike PCM/MCM, the mutual
+// boosting loop lets boosted colluders climb even at B = 0.2 (the paper's
+// "80 ratings per query cycle" argument); SocialTrust suppresses.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  st::bench::Context ctx(argc, argv, "fig14_mmm_b02");
+  st::bench::collusion_figure(ctx, "Fig14", "MMM", {}, 0.2,
+                              {"EigenTrust", "eBay", "EigenTrust+SocialTrust",
+                               "eBay+SocialTrust"});
+  return 0;
+}

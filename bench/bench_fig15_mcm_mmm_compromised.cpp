@@ -1,0 +1,16 @@
+// Fig. 15: MCM and MMM with B = 0.2 and 7 compromised pretrusted nodes.
+// Paper shape: compromised pretrusted raters (weight 0.5) re-enable both
+// attacks under plain EigenTrust; EigenTrust+SocialTrust pushes colluders
+// and the compromised pretrusted nodes back to ~0.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  st::bench::Context ctx(argc, argv, "fig15_mcm_mmm_compromised");
+  st::collusion::CollusionOptions options;
+  options.compromised_pretrusted = 7;
+  st::bench::collusion_figure(ctx, "Fig15-MCM", "MCM", options, 0.2,
+                              {"EigenTrust", "EigenTrust+SocialTrust"});
+  st::bench::collusion_figure(ctx, "Fig15-MMM", "MMM", options, 0.2,
+                              {"EigenTrust", "EigenTrust+SocialTrust"});
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 16: PCM, B = 0.6, with falsified social information — colluding
+// pairs carry exactly one relationship and identical declared interests.
+// Paper shape: SocialTrust still suppresses, because the interaction
+// frequencies and request histories (Eq. 10 / behaviour-weighted
+// similarity) cannot be falsified.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  st::bench::Context ctx(argc, argv, "fig16_falsified_pcm");
+  st::collusion::CollusionOptions options;
+  options.falsify_social_info = true;
+  st::bench::collusion_figure(
+      ctx, "Fig16", "PCM", options, 0.6,
+      {"EigenTrust+SocialTrust", "eBay+SocialTrust"});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig. 17: MCM, B = 0.6, with falsified social information (see Fig. 16).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  st::bench::Context ctx(argc, argv, "fig17_falsified_mcm");
+  st::collusion::CollusionOptions options;
+  options.falsify_social_info = true;
+  st::bench::collusion_figure(
+      ctx, "Fig17", "MCM", options, 0.6,
+      {"EigenTrust+SocialTrust", "eBay+SocialTrust"});
+  return 0;
+}

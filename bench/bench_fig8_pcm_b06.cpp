@@ -1,0 +1,16 @@
+// Fig. 8: reputation distributions under pair-wise collusion (PCM) with
+// colluder good-behaviour probability B = 0.6, for EigenTrust, eBay, and
+// both with the SocialTrust plugin.
+//
+// Paper shape: plain EigenTrust and eBay let the colluders reach the top
+// of the reputation distribution; with SocialTrust their reputations
+// collapse to the bottom.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  st::bench::Context ctx(argc, argv, "fig8_pcm_b06");
+  st::bench::collusion_figure(ctx, "Fig8", "PCM", {}, 0.6,
+                              {"EigenTrust", "eBay", "EigenTrust+SocialTrust",
+                               "eBay+SocialTrust"});
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig. 9: PCM with B = 0.2. Paper shape: EigenTrust's reputation weighting
+// already keeps the low-QoS colluders down; eBay leaves them slightly
+// higher; SocialTrust drives both to ~0.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  st::bench::Context ctx(argc, argv, "fig9_pcm_b02");
+  st::bench::collusion_figure(ctx, "Fig9", "PCM", {}, 0.2,
+                              {"EigenTrust", "eBay", "EigenTrust+SocialTrust",
+                               "eBay+SocialTrust"});
+  return 0;
+}

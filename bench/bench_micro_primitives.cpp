@@ -1,0 +1,189 @@
+// Micro-benchmarks (google-benchmark) for the core primitives: social
+// closeness (adjacent / FOF / bottleneck; Eq. 2 vs Eq. 10), interest
+// similarity (Eq. 7 / behaviour-weighted / literal Eq. 11), the Gaussian
+// filter, reputation-system updates, and one full SocialTrust plugin
+// interval at the paper's scale.
+
+#include <benchmark/benchmark.h>
+
+#include "core/closeness.hpp"
+#include "core/gaussian_filter.hpp"
+#include "core/similarity.hpp"
+#include "core/socialtrust.hpp"
+#include "graph/generators.hpp"
+#include "reputation/ebay.hpp"
+#include "reputation/eigentrust.hpp"
+#include "reputation/paper_eigentrust.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace st;  // NOLINT: bench file, brevity wins
+
+constexpr std::size_t kNodes = 200;
+
+graph::SocialGraph& bench_graph() {
+  static graph::SocialGraph g = [] {
+    stats::Rng rng(1);
+    graph::SocialGraph graph = graph::erdos_renyi(kNodes, 0.05, rng);
+    for (graph::NodeId a = 0; a < kNodes; ++a) {
+      for (int k = 0; k < 30; ++k) {
+        graph.record_interaction(a, static_cast<graph::NodeId>(
+                                        rng.index(kNodes)));
+      }
+    }
+    return graph;
+  }();
+  return g;
+}
+
+core::InterestProfiles& bench_profiles() {
+  static core::InterestProfiles profiles = [] {
+    stats::Rng rng(2);
+    core::InterestProfiles p(kNodes, 20);
+    for (graph::NodeId v = 0; v < kNodes; ++v) {
+      auto picks = rng.sample_without_replacement(20, 1 + rng.index(9));
+      std::vector<reputation::InterestId> set;
+      for (std::size_t c : picks)
+        set.push_back(static_cast<reputation::InterestId>(c));
+      p.set_interests(v, set);
+      for (auto c : set) p.record_request(v, c, rng.uniform(1.0, 20.0));
+    }
+    return p;
+  }();
+  return profiles;
+}
+
+std::vector<reputation::Rating> bench_ratings(std::size_t count,
+                                              std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<reputation::Rating> ratings;
+  ratings.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    reputation::Rating r;
+    r.rater = static_cast<graph::NodeId>(rng.index(kNodes));
+    r.ratee = static_cast<graph::NodeId>(rng.index(kNodes));
+    r.value = rng.bernoulli(0.8) ? 1.0 : -1.0;
+    ratings.push_back(r);
+  }
+  return ratings;
+}
+
+void BM_ClosenessAdjacent(benchmark::State& state) {
+  core::ClosenessModel model(state.range(0) != 0);
+  auto& g = bench_graph();
+  stats::Rng rng(3);
+  for (auto _ : state) {
+    auto a = static_cast<graph::NodeId>(rng.index(kNodes));
+    for (graph::NodeId b : g.neighbors(a)) {
+      benchmark::DoNotOptimize(model.adjacent_closeness(g, a, b));
+    }
+  }
+}
+BENCHMARK(BM_ClosenessAdjacent)->Arg(0)->Arg(1);  // Eq. 2 vs Eq. 10
+
+void BM_ClosenessFull(benchmark::State& state) {
+  core::ClosenessModel model(true);
+  auto& g = bench_graph();
+  stats::Rng rng(4);
+  for (auto _ : state) {
+    auto a = static_cast<graph::NodeId>(rng.index(kNodes));
+    auto b = static_cast<graph::NodeId>(rng.index(kNodes));
+    benchmark::DoNotOptimize(model.closeness(g, a, b));
+  }
+}
+BENCHMARK(BM_ClosenessFull);
+
+void BM_SimilarityEq7(benchmark::State& state) {
+  auto& p = bench_profiles();
+  stats::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        p.similarity(static_cast<graph::NodeId>(rng.index(kNodes)),
+                     static_cast<graph::NodeId>(rng.index(kNodes))));
+  }
+}
+BENCHMARK(BM_SimilarityEq7);
+
+void BM_SimilarityWeighted(benchmark::State& state) {
+  auto& p = bench_profiles();
+  stats::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        p.weighted_similarity(static_cast<graph::NodeId>(rng.index(kNodes)),
+                              static_cast<graph::NodeId>(rng.index(kNodes))));
+  }
+}
+BENCHMARK(BM_SimilarityWeighted);
+
+void BM_SimilarityEq11(benchmark::State& state) {
+  auto& p = bench_profiles();
+  stats::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.weighted_similarity_eq11(
+        static_cast<graph::NodeId>(rng.index(kNodes)),
+        static_cast<graph::NodeId>(rng.index(kNodes))));
+  }
+}
+BENCHMARK(BM_SimilarityEq11);
+
+void BM_GaussianWeight(benchmark::State& state) {
+  core::CoefficientStats stats;
+  stats.mean = 0.2;
+  stats.min = 0.0;
+  stats.max = 1.0;
+  stats.stddev = 0.15;
+  stats::Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::gaussian_weight2(
+        rng.uniform(), stats, rng.uniform(), stats, 1.0));
+  }
+}
+BENCHMARK(BM_GaussianWeight);
+
+void BM_PaperEigenTrustUpdate(benchmark::State& state) {
+  auto ratings = bench_ratings(static_cast<std::size_t>(state.range(0)), 9);
+  for (auto _ : state) {
+    reputation::PaperEigenTrust system(kNodes, {0, 1, 2});
+    system.update(ratings);
+    benchmark::DoNotOptimize(system.reputations());
+  }
+}
+BENCHMARK(BM_PaperEigenTrustUpdate)->Arg(5000)->Arg(20000);
+
+void BM_KamvarEigenTrustUpdate(benchmark::State& state) {
+  auto ratings = bench_ratings(static_cast<std::size_t>(state.range(0)), 10);
+  for (auto _ : state) {
+    reputation::EigenTrust system(kNodes, {0, 1, 2});
+    system.update(ratings);
+    benchmark::DoNotOptimize(system.reputations());
+  }
+}
+BENCHMARK(BM_KamvarEigenTrustUpdate)->Arg(5000)->Arg(20000);
+
+void BM_EbayUpdate(benchmark::State& state) {
+  auto ratings = bench_ratings(static_cast<std::size_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    reputation::EbayReputation system(kNodes);
+    system.update(ratings);
+    benchmark::DoNotOptimize(system.reputations());
+  }
+}
+BENCHMARK(BM_EbayUpdate)->Arg(5000)->Arg(20000);
+
+void BM_SocialTrustInterval(benchmark::State& state) {
+  auto ratings = bench_ratings(static_cast<std::size_t>(state.range(0)), 12);
+  for (auto _ : state) {
+    core::SocialTrustPlugin plugin(
+        std::make_unique<reputation::PaperEigenTrust>(
+            kNodes, std::vector<graph::NodeId>{0, 1, 2}),
+        bench_graph(), bench_profiles(), core::SocialTrustConfig{});
+    plugin.update(ratings);
+    benchmark::DoNotOptimize(plugin.reputations());
+  }
+}
+BENCHMARK(BM_SocialTrustInterval)->Arg(5000)->Arg(20000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,198 @@
+#include "common.hpp"
+
+#include <stdexcept>
+
+namespace st::bench {
+
+Context::Context(int argc, char** argv, std::string bench_name)
+    : args_(argc, argv), bench_name_(std::move(bench_name)) {
+  seed_ = args_.get_u64("seed", 42);
+  bool quick = args_.has("quick");
+  runs_ = static_cast<std::size_t>(args_.get_int("runs", quick ? 2 : 5));
+  cycles_ = static_cast<std::size_t>(args_.get_int("cycles", quick ? 20 : 50));
+  auto csv = args_.get("csv");
+  if (csv && !csv->empty()) csv_dir_ = *csv;
+  std::cout << "=== " << bench_name_ << " ===\n"
+            << "(seed " << seed_ << ", " << runs_ << " runs, " << cycles_
+            << " simulation cycles; mean ± 95% CI)\n\n";
+}
+
+sim::ExperimentConfig Context::paper_config(double colluder_b) const {
+  sim::ExperimentConfig config;   // SimConfig defaults = Section 5.1
+  config.sim.colluder_authentic = colluder_b;
+  config.sim.simulation_cycles = cycles_;
+  config.runs = runs_;
+  config.base_seed = seed_;
+  return config;
+}
+
+void Context::emit(const std::string& table_name,
+                   const util::Table& table) const {
+  std::cout << table.to_string() << "\n";
+  if (csv_dir_) {
+    auto path = util::write_csv(table, *csv_dir_,
+                                bench_name_ + "_" + table_name + ".csv");
+    std::cout << "(csv: " << path.string() << ")\n\n";
+  }
+}
+
+void Context::emit_csv(const std::string& table_name,
+                       const util::Table& table) const {
+  if (!csv_dir_) return;
+  auto path = util::write_csv(table, *csv_dir_,
+                              bench_name_ + "_" + table_name + ".csv");
+  std::cout << "(csv: " << path.string() << ")\n";
+}
+
+void Context::heading(const std::string& text) const {
+  std::cout << "--- " << text << " ---\n";
+}
+
+sim::SystemFactory system_by_name(const std::string& name) {
+  if (name == "eBay") return sim::make_ebay_factory();
+  if (name == "EigenTrust") return sim::make_paper_eigentrust_factory();
+  if (name == "EigenTrust(Kamvar)") return sim::make_eigentrust_factory();
+  if (name == "eBay+SocialTrust")
+    return sim::make_socialtrust_factory(sim::make_ebay_factory());
+  if (name == "EigenTrust+SocialTrust")
+    return sim::make_socialtrust_factory(
+        sim::make_paper_eigentrust_factory());
+  throw std::invalid_argument("unknown system: " + name);
+}
+
+sim::StrategyFactory strategy_by_name(const std::string& model,
+                                      collusion::CollusionOptions options) {
+  if (model.empty() || model == "none") return {};
+  if (model == "PCM") {
+    return [options] {
+      return std::make_unique<collusion::PairwiseCollusion>(options);
+    };
+  }
+  if (model == "MCM") {
+    return [options] {
+      return std::make_unique<collusion::MultiNodeCollusion>(options);
+    };
+  }
+  if (model == "MMM") {
+    return [options] {
+      return std::make_unique<collusion::MutualMultiNodeCollusion>(options);
+    };
+  }
+  throw std::invalid_argument("unknown collusion model: " + model);
+}
+
+util::Table summary_table(const sim::AggregateResult& agg) {
+  stats::Accumulator boosted, boosting, norm_median;
+  for (const auto& run : agg.per_run) {
+    boosted.add(run.boosted_final_mean);
+    boosting.add(run.boosting_final_mean);
+    norm_median.add(run.normal_final_median);
+  }
+  util::Table table({"group", "mean reputation", "95% CI"});
+  auto row = [&](const char* label, const stats::Accumulator& acc) {
+    table.add_row({label, util::fmt(acc.mean(), 6),
+                   util::fmt(stats::confidence_interval95(acc), 6)});
+  };
+  row("pretrusted", agg.pretrusted_mean);
+  row("colluders (all)", agg.colluder_mean);
+  row("colluders (boosted)", boosted);
+  row("colluders (boosting)", boosting);
+  row("normal (mean)", agg.normal_mean);
+  row("normal (median node)", norm_median);
+  table.add_row({"% requests to colluders",
+                 util::fmt(agg.colluder_share.mean() * 100.0, 2) + "%",
+                 util::fmt(
+                     stats::confidence_interval95(agg.colluder_share) * 100.0,
+                     2)});
+  return table;
+}
+
+util::Table distribution_table(const sim::AggregateResult& agg,
+                               const sim::SimConfig& cfg) {
+  util::Table table({"node", "type", "mean reputation", "95% CI"});
+  for (std::size_t v = 0; v < cfg.node_count; ++v) {
+    const char* type = v < cfg.pretrusted_count ? "pretrusted"
+                       : v < cfg.pretrusted_count + cfg.colluder_count
+                           ? "colluder"
+                           : "normal";
+    table.add_row({std::to_string(v + 1), type,
+                   util::fmt(agg.mean_final_reputation[v], 6),
+                   util::fmt(agg.ci_final_reputation[v], 6)});
+  }
+  return table;
+}
+
+void print_distribution(const std::string& caption,
+                        const sim::AggregateResult& agg,
+                        const sim::SimConfig& cfg) {
+  // The paper plots reputation vs node id (ids 1-9 pretrusted, 10-39
+  // colluders). A 200-bar terminal chart is unreadable, so pretrusted and
+  // colluders are shown in small id buckets and normal nodes in coarser
+  // ones — the shape (which population is high) stays visible.
+  std::vector<std::pair<std::string, double>> bars;
+  auto add_group = [&](std::size_t lo, std::size_t hi, const char* tag,
+                       std::size_t buckets) {
+    std::vector<double> slice(agg.mean_final_reputation.begin() +
+                                  static_cast<long>(lo),
+                              agg.mean_final_reputation.begin() +
+                                  static_cast<long>(hi));
+    auto grouped = util::bucketize(slice, buckets);
+    for (auto& [label, value] : grouped) {
+      // Relabel with absolute 1-based node ids.
+      std::size_t a = lo + 1 +
+                      std::stoul(label.substr(1, label.find('-') - 1)) - 1;
+      std::size_t b = lo + std::stoul(label.substr(label.find('-') + 1));
+      bars.emplace_back(std::string(tag) + " " + std::to_string(a) + "-" +
+                            std::to_string(b),
+                        value);
+    }
+  };
+  std::size_t p = cfg.pretrusted_count;
+  std::size_t c = cfg.colluder_count;
+  add_group(0, p, "pre ", 3);
+  add_group(p, p + c, "coll", 6);
+  add_group(p + c, cfg.node_count, "norm", 8);
+  std::cout << caption << "\n" << util::bar_chart(bars, 56) << "\n";
+}
+
+sim::AggregateResult run_panel(const Context& ctx, const std::string& panel,
+                               const std::string& system,
+                               const std::string& model,
+                               collusion::CollusionOptions options,
+                               double colluder_b) {
+  auto config = ctx.paper_config(colluder_b);
+  auto agg = run_experiment(config, system_by_name(system),
+                            strategy_by_name(model, options));
+  print_distribution("[" + panel + "] " + system +
+                         (model.empty() ? "" : " under " + model) +
+                         " (B=" + util::fmt(colluder_b, 1) + ")",
+                     agg, config.sim);
+  return agg;
+}
+
+void collusion_figure(Context& ctx, const std::string& figure,
+                      const std::string& model,
+                      collusion::CollusionOptions options, double colluder_b,
+                      const std::vector<std::string>& systems) {
+  util::Table comparison({"system", "pretrusted", "colluders", "normal",
+                          "% requests to colluders"});
+  char panel = 'a';
+  for (const std::string& system : systems) {
+    ctx.heading(figure + "(" + std::string(1, panel) + "): " + system);
+    auto agg = run_panel(ctx, figure + "(" + std::string(1, panel) + ")",
+                         system, model, options, colluder_b);
+    ctx.emit(std::string(1, panel) + "_summary", summary_table(agg));
+    ctx.emit_csv(std::string(1, panel) + "_distribution",
+                 distribution_table(agg, ctx.paper_config(colluder_b).sim));
+    comparison.add_row(
+        {system, util::fmt(agg.pretrusted_mean.mean(), 6),
+         util::fmt(agg.colluder_mean.mean(), 6),
+         util::fmt(agg.normal_mean.mean(), 6),
+         util::fmt(agg.colluder_share.mean() * 100.0, 2) + "%"});
+    ++panel;
+  }
+  ctx.heading(figure + ": cross-system comparison");
+  ctx.emit("comparison", comparison);
+}
+
+}  // namespace st::bench

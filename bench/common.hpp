@@ -1,0 +1,100 @@
+#pragma once
+// Shared driver code for the experiment benches.
+//
+// Every bench binary reproduces one table or figure of the paper: it runs
+// the corresponding experiment at the paper's scale (Section 5.1 defaults),
+// prints the rows/series the paper reports plus an ASCII rendering of the
+// figure's shape, and optionally writes CSV for external plotting.
+//
+// Common flags (parsed by Context):
+//   --seed <u64>    base RNG seed               (default 42)
+//   --runs <n>      repetitions per experiment  (default 5, as in the paper)
+//   --cycles <n>    simulation cycles           (default 50)
+//   --csv <dir>     also write CSV files into <dir>
+//   --quick         reduced scale for smoke runs (2 runs, 20 cycles)
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "collusion/models.hpp"
+#include "sim/experiment.hpp"
+#include "sim/factories.hpp"
+#include "stats/summary.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace st::bench {
+
+class Context {
+ public:
+  Context(int argc, char** argv, std::string bench_name);
+
+  /// The paper's Section 5.1 experiment configuration with the given
+  /// colluder good-behaviour probability B.
+  sim::ExperimentConfig paper_config(double colluder_b) const;
+
+  /// Prints a table (and writes CSV when --csv was given).
+  void emit(const std::string& table_name, const util::Table& table) const;
+
+  /// Writes CSV only (no stdout) — for bulky per-node tables.
+  void emit_csv(const std::string& table_name,
+                const util::Table& table) const;
+
+  /// Prints a section heading.
+  void heading(const std::string& text) const;
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::size_t runs() const noexcept { return runs_; }
+  const util::CliArgs& args() const noexcept { return args_; }
+
+ private:
+  util::CliArgs args_;
+  std::string bench_name_;
+  std::uint64_t seed_;
+  std::size_t runs_;
+  std::size_t cycles_;
+  std::optional<std::string> csv_dir_;
+};
+
+/// Named system factories matching the paper's labels. Valid names:
+/// "eBay", "EigenTrust", "eBay+SocialTrust", "EigenTrust+SocialTrust",
+/// "EigenTrust(Kamvar)". Throws on unknown names.
+sim::SystemFactory system_by_name(const std::string& name);
+
+/// Strategy factory for "PCM" / "MCM" / "MMM" / "" (none).
+sim::StrategyFactory strategy_by_name(const std::string& model,
+                                      collusion::CollusionOptions options);
+
+/// Group-level summary rows of one aggregated experiment (the numbers the
+/// reputation-distribution figures visualise).
+util::Table summary_table(const sim::AggregateResult& agg);
+
+/// Renders the per-node reputation distribution (the paper's Figs. 7-18
+/// panels) as an ASCII bar chart: pretrusted ids first, then colluders,
+/// then bucketised normal nodes.
+void print_distribution(const std::string& caption,
+                        const sim::AggregateResult& agg,
+                        const sim::SimConfig& cfg);
+
+/// Per-node CSV table (node, type, mean reputation, ci) for one panel.
+util::Table distribution_table(const sim::AggregateResult& agg,
+                               const sim::SimConfig& cfg);
+
+/// Runs one figure panel (one system under one attack) and prints it.
+sim::AggregateResult run_panel(const Context& ctx, const std::string& panel,
+                               const std::string& system,
+                               const std::string& model,
+                               collusion::CollusionOptions options,
+                               double colluder_b);
+
+/// Complete driver for the Figs. 8-18 family: runs the listed systems
+/// against one attack and prints all panels plus a comparison summary.
+void collusion_figure(Context& ctx, const std::string& figure,
+                      const std::string& model,
+                      collusion::CollusionOptions options, double colluder_b,
+                      const std::vector<std::string>& systems);
+
+}  // namespace st::bench

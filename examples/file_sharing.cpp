@@ -1,0 +1,65 @@
+// Maze-style P2P file-sharing scenario (the system the paper names as the
+// motivating deployment).
+//
+// A 200-peer unstructured file-sharing overlay runs interest-driven
+// queries. A clique of colluders floods mutual positive ratings (MMM) to
+// hijack the reputation ranking. The example measures what a *user*
+// experiences — the fraction of downloads that turn out inauthentic — with
+// the bare reputation system and with the SocialTrust plugin.
+//
+//   $ ./file_sharing [--b 0.2] [--seed 42] [--cycles 40]
+
+#include <iostream>
+
+#include "collusion/models.hpp"
+#include "sim/experiment.hpp"
+#include "sim/factories.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  st::util::CliArgs args(argc, argv);
+
+  st::sim::ExperimentConfig config;  // Section 5.1 defaults: 200 peers
+  config.sim.colluder_authentic = args.get_double("b", 0.2);
+  config.sim.simulation_cycles =
+      static_cast<std::size_t>(args.get_int("cycles", 40));
+  config.runs = 3;
+  config.base_seed = args.get_u64("seed", 42);
+
+  std::cout << "P2P file sharing under a mutual-collusion ring (MMM)\n"
+            << "  peers: " << config.sim.node_count
+            << ", colluders: " << config.sim.colluder_count
+            << " (authentic-file probability B="
+            << config.sim.colluder_authentic << ")\n\n";
+
+  auto strategy = [] {
+    return std::make_unique<st::collusion::MutualMultiNodeCollusion>();
+  };
+
+  st::util::Table table({"reputation system", "% inauthentic downloads",
+                         "% downloads from colluders",
+                         "colluder mean reputation"});
+  auto measure = [&](const char* label, const st::sim::SystemFactory& f) {
+    auto agg = run_experiment(config, f, strategy);
+    table.add_row(
+        {label,
+         st::util::fmt(agg.inauthentic_share.mean() * 100.0, 2) + "%",
+         st::util::fmt(agg.colluder_share.mean() * 100.0, 2) + "%",
+         st::util::fmt(agg.colluder_mean.mean(), 6)});
+  };
+
+  measure("EigenTrust", st::sim::make_paper_eigentrust_factory());
+  measure("EigenTrust+SocialTrust",
+          st::sim::make_socialtrust_factory(
+              st::sim::make_paper_eigentrust_factory()));
+  measure("eBay-style", st::sim::make_ebay_factory());
+  measure("eBay-style+SocialTrust",
+          st::sim::make_socialtrust_factory(st::sim::make_ebay_factory()));
+
+  table.print(std::cout);
+  std::cout << "\nSocialTrust recognises the ring's high-frequency "
+               "low-similarity rating pattern (B1/B3),\nre-weights those "
+               "ratings, and the colluders stop winning downloads.\n";
+  return 0;
+}

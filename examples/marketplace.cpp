@@ -1,0 +1,128 @@
+// Overstock-style marketplace walkthrough: generates a synthetic auction
+// trace with the library's marketplace model, re-runs the paper's
+// Section 3 analysis on it, and then demonstrates the B4 pattern —
+// a competitor bad-mouthing a rival seller with frequent negative ratings
+// — being detected and neutralised by SocialTrust.
+//
+//   $ ./marketplace [--users 5000] [--transactions 30000] [--seed 42]
+
+#include <iostream>
+
+#include "core/socialtrust.hpp"
+#include "reputation/ebay.hpp"
+#include "trace/analysis.hpp"
+#include "trace/marketplace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using st::core::InterestProfiles;
+using st::core::SocialTrustPlugin;
+using st::graph::NodeId;
+using st::reputation::Rating;
+
+namespace {
+
+/// Part 2: a minimal marketplace reputation scenario with a bad-mouthing
+/// competitor, run directly against the public plugin API.
+void competitor_demo() {
+  std::cout << "\n=== Part 2: competitor bad-mouthing (behaviour B4) ===\n";
+  const std::size_t kUsers = 30;
+  st::graph::SocialGraph graph(kUsers);
+  InterestProfiles profiles(kUsers, 6);
+
+  // Two rival sellers (0 and 1) sell in the same categories; buyers 2..29
+  // share those interests too.
+  std::vector<st::reputation::InterestId> electronics{0, 1};
+  profiles.set_interests(0, electronics);
+  profiles.set_interests(1, electronics);
+  for (NodeId buyer = 2; buyer < kUsers; ++buyer) {
+    profiles.set_interests(buyer, electronics);
+    profiles.record_request(buyer, 0, 5.0);
+    profiles.record_request(buyer, 1, 2.0);
+  }
+  // The rivals' own purchase behaviour is also in-category.
+  profiles.record_request(0, 0, 10.0);
+  profiles.record_request(1, 0, 10.0);
+
+  SocialTrustPlugin guarded(
+      std::make_unique<st::reputation::EbayReputation>(kUsers), graph,
+      profiles, st::core::SocialTrustConfig{});
+  st::reputation::EbayReputation bare(kUsers);
+
+  // Each "week": honest buyers rate both sellers +1 per purchase, and
+  // seller 0 floods seller 1 with negative ratings (20 per week).
+  for (int week = 0; week < 12; ++week) {
+    std::vector<Rating> ratings;
+    for (NodeId buyer = 2; buyer < kUsers; ++buyer) {
+      Rating r;
+      r.rater = buyer;
+      r.interest = 0;
+      r.ratee = 0;
+      r.value = 1.0;
+      ratings.push_back(r);
+      graph.record_interaction(buyer, 0);
+      r.ratee = 1;
+      ratings.push_back(r);
+      graph.record_interaction(buyer, 1);
+    }
+    for (int k = 0; k < 20; ++k) {
+      Rating smear;
+      smear.rater = 0;
+      smear.ratee = 1;
+      smear.value = -1.0;
+      smear.interest = 0;
+      ratings.push_back(smear);
+      graph.record_interaction(0, 1);
+    }
+    guarded.update(ratings);
+    bare.update(ratings);
+  }
+
+  st::util::Table table(
+      {"system", "seller 0 (attacker)", "seller 1 (victim)"});
+  table.add_row({"eBay (bare)", st::util::fmt(bare.reputation(0), 4),
+                 st::util::fmt(bare.reputation(1), 4)});
+  table.add_row({"eBay+SocialTrust", st::util::fmt(guarded.reputation(0), 4),
+                 st::util::fmt(guarded.reputation(1), 4)});
+  table.print(std::cout);
+
+  const auto& report = guarded.last_report();
+  std::cout << "last week's detector report: " << report.pairs_flagged
+            << " flagged pair(s), B4 hits: " << report.b4 << "\n"
+            << "With SocialTrust, the high-frequency negative ratings "
+               "between high-similarity rivals are\nrecognised as "
+               "competitor suppression (B4) and attenuated, so the victim "
+               "keeps its standing.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  st::util::CliArgs args(argc, argv);
+
+  std::cout << "=== Part 1: synthetic Overstock trace and Section 3 "
+               "statistics ===\n";
+  st::trace::TraceConfig config;
+  config.user_count =
+      static_cast<std::size_t>(args.get_int("users", 5000));
+  config.transaction_count =
+      static_cast<std::size_t>(args.get_int("transactions", 30000));
+  st::stats::Rng rng(args.get_u64("seed", 42));
+  auto trace = st::trace::generate_trace(config, rng);
+  auto analysis = st::trace::analyze_trace(trace);
+
+  st::util::Table table({"observation", "paper (crawl)", "this trace"});
+  table.add_row({"C(reputation, business network) [O1]", "0.996",
+                 st::util::fmt(analysis.reputation_business_correlation, 3)});
+  table.add_row({"C(reputation, personal network) [O2]", "0.092",
+                 st::util::fmt(analysis.reputation_personal_correlation, 3)});
+  table.add_row({"top-3 category share [O5]", "88%",
+                 st::util::fmt(analysis.top3_share * 100.0, 1) + "%"});
+  table.add_row(
+      {"transactions above 0.3 similarity [O6]", "60%",
+       st::util::fmt(analysis.fraction_above_03 * 100.0, 1) + "%"});
+  table.print(std::cout);
+
+  competitor_demo();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a small P2P network, attack it with pair-wise
+// collusion, and compare EigenTrust with and without the SocialTrust
+// plugin.
+//
+//   $ ./quickstart [--seed 42] [--colluder-b 0.6]
+//
+// Expected outcome (the paper's Fig. 8 in miniature): plain EigenTrust
+// lets the colluding clique reach the top of the reputation ranking;
+// EigenTrust+SocialTrust pushes the same clique to the bottom.
+
+#include <iostream>
+
+#include "collusion/models.hpp"
+#include "sim/experiment.hpp"
+#include "sim/factories.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  st::util::CliArgs args(argc, argv);
+
+  st::sim::ExperimentConfig config;
+  config.sim.node_count = 100;
+  config.sim.pretrusted_count = 5;
+  config.sim.colluder_count = 16;
+  config.sim.simulation_cycles = 20;
+  config.sim.colluder_authentic = args.get_double("colluder-b", 0.6);
+  config.runs = 3;
+  config.base_seed = args.get_u64("seed", 42);
+
+  auto strategy = [] {
+    return std::make_unique<st::collusion::PairwiseCollusion>();
+  };
+
+  std::cout << "SocialTrust quickstart: " << config.sim.node_count
+            << " peers, " << config.sim.colluder_count
+            << " pair-wise colluders (B=" << config.sim.colluder_authentic
+            << ")\n\n";
+
+  st::util::Table table({"system", "colluder mean rep", "normal mean rep",
+                         "pretrusted mean rep", "% requests to colluders"});
+
+  auto report = [&](const char* name, const st::sim::AggregateResult& agg) {
+    table.add_row({name, st::util::fmt(agg.colluder_mean.mean(), 5),
+                   st::util::fmt(agg.normal_mean.mean(), 5),
+                   st::util::fmt(agg.pretrusted_mean.mean(), 5),
+                   st::util::fmt(agg.colluder_share.mean() * 100.0, 1) + "%"});
+  };
+
+  auto eigentrust = st::sim::make_paper_eigentrust_factory();
+  report("EigenTrust", run_experiment(config, eigentrust, strategy));
+  report("EigenTrust+SocialTrust",
+         run_experiment(config,
+                        st::sim::make_socialtrust_factory(eigentrust),
+                        strategy));
+
+  table.print(std::cout);
+  std::cout << "\nWith SocialTrust the colluders' mutual high-frequency "
+               "ratings are detected (behaviours B1-B3)\nand re-weighted by "
+               "the Gaussian filter, so their reputations collapse.\n";
+  return 0;
+}

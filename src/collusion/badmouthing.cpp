@@ -1,0 +1,69 @@
+#include "collusion/badmouthing.hpp"
+
+#include <algorithm>
+
+namespace st::collusion {
+
+using sim::InterestId;
+using sim::NodeId;
+
+void BadMouthingCollusion::setup(sim::Simulator& simulator,
+                                 stats::Rng& rng) {
+  // Victims: either the pretrusted nodes, or normal nodes that share a
+  // declared interest with the attacker — the "business competitor"
+  // framing of B4 (the attacker and victim sell similar products).
+  const auto& cfg = simulator.config();
+  for (NodeId attacker : simulator.colluders()) {
+    simulator.set_collusion_role(attacker, sim::CollusionRole::kBoosting);
+    std::vector<NodeId> candidates;
+    if (options_.target_pretrusted) {
+      candidates = simulator.pretrusted();
+    } else {
+      auto interests = simulator.profiles().declared(attacker);
+      for (NodeId v = 0; v < cfg.node_count; ++v) {
+        if (simulator.node_type(v) != sim::NodeType::kNormal) continue;
+        auto theirs = simulator.profiles().declared(v);
+        bool shares = false;
+        for (InterestId c : interests) {
+          if (std::binary_search(theirs.begin(), theirs.end(), c)) {
+            shares = true;
+            break;
+          }
+        }
+        if (shares) candidates.push_back(v);
+      }
+    }
+    if (candidates.empty()) continue;
+    std::size_t victims =
+        std::min(options_.victims_per_colluder, candidates.size());
+    auto picks = rng.sample_without_replacement(candidates.size(), victims);
+    for (std::size_t p : picks) {
+      assignments_.emplace_back(attacker, candidates[p]);
+      // The attacker also floods *requests* in the shared categories (it
+      // competes in them), which is what makes B4's high-similarity
+      // signature hold even if it later prunes its declared profile.
+      auto interests = simulator.profiles().declared(attacker);
+      if (!interests.empty()) {
+        simulator.profiles().record_request(
+            attacker, interests[rng.index(interests.size())], 5.0);
+      }
+    }
+  }
+}
+
+void BadMouthingCollusion::on_query_cycle(sim::Simulator& simulator,
+                                          std::uint32_t /*query_cycle*/,
+                                          stats::Rng& rng) {
+  for (const auto& [attacker, victim] : assignments_) {
+    auto interests = simulator.profiles().declared(victim);
+    for (std::size_t k = 0; k < options_.ratings_per_query_cycle; ++k) {
+      InterestId interest =
+          interests.empty() ? reputation::kNoInterest
+                            : interests[rng.index(interests.size())];
+      simulator.submit_rating(attacker, victim, -1.0, interest,
+                              /*is_transaction=*/false);
+    }
+  }
+}
+
+}  // namespace st::collusion

@@ -1,0 +1,53 @@
+#pragma once
+// Negative-rating collusion ("bad-mouthing").
+//
+// Section 5.1: "We consider positive ratings among colluders in the
+// experiments. Similar results can be obtained for the collusion of
+// negative ratings." This strategy implements that flavour so the claim
+// can actually be checked: a colluding group picks high-value victims
+// (the pretrusted nodes and/or top normal sellers sharing their interests)
+// and floods them with negative ratings at high frequency — the
+// competitor-suppression scenario behind suspicious behaviour B4.
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/strategy.hpp"
+
+namespace st::collusion {
+
+struct BadMouthingOptions {
+  /// Negative ratings each colluder emits per victim per query cycle.
+  std::size_t ratings_per_query_cycle = 20;
+  /// Victims per colluder.
+  std::size_t victims_per_colluder = 2;
+  /// Target the pretrusted nodes (true) or random normal competitors
+  /// sharing the colluder's interests (false).
+  bool target_pretrusted = false;
+};
+
+class BadMouthingCollusion final : public sim::CollusionStrategy {
+ public:
+  explicit BadMouthingCollusion(BadMouthingOptions options = {}) noexcept
+      : options_(options) {}
+
+  std::string_view name() const noexcept override { return "BadMouthing"; }
+  void setup(sim::Simulator& simulator, stats::Rng& rng) override;
+  void on_query_cycle(sim::Simulator& simulator, std::uint32_t query_cycle,
+                      stats::Rng& rng) override;
+
+  const BadMouthingOptions& options() const noexcept { return options_; }
+  /// (attacker -> victim) assignments chosen at setup.
+  const std::vector<std::pair<sim::NodeId, sim::NodeId>>& assignments()
+      const noexcept {
+    return assignments_;
+  }
+
+ private:
+  BadMouthingOptions options_;
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> assignments_;
+};
+
+}  // namespace st::collusion

@@ -1,0 +1,242 @@
+#include "collusion/models.hpp"
+
+#include <algorithm>
+
+namespace st::collusion {
+
+using graph::Relationship;
+using sim::CollusionRole;
+using sim::InterestId;
+
+void CollusionModelBase::setup(sim::Simulator& simulator, stats::Rng& rng) {
+  pick_partners(simulator, rng);
+  wire_conspirators(simulator, rng);
+  if (options_.falsify_social_info) falsify_profiles(simulator, rng);
+  if (options_.compromised_pretrusted > 0)
+    setup_compromised(simulator, rng);
+}
+
+void CollusionModelBase::wire_conspirators(sim::Simulator& simulator,
+                                           stats::Rng& rng) {
+  // Colluder-colluder social distance is 1 (Section 5.1); their edges
+  // carry [3,5] relationship types unless the falsification counterattack
+  // trims them to exactly one.
+  auto& g = simulator.social_graph();
+  const auto& cfg = simulator.config();
+  auto wire_edge = [&](NodeId a, NodeId b) {
+    std::size_t rel_count =
+        options_.falsify_social_info
+            ? 1
+            : static_cast<std::size_t>(
+                  rng.uniform_u64(cfg.colluder_relationships_min,
+                                  cfg.colluder_relationships_max));
+    // Falsifying colluders shed extra relationships first.
+    if (options_.falsify_social_info) {
+      for (std::size_t r = 0; r < graph::kRelationshipCount; ++r) {
+        g.remove_relationship(a, b, static_cast<Relationship>(r));
+      }
+    }
+    auto rels =
+        rng.sample_without_replacement(graph::kRelationshipCount, rel_count);
+    for (std::size_t r : rels) {
+      g.add_relationship(a, b, static_cast<Relationship>(r));
+    }
+  };
+  for (const auto& [a, b] : links_) {
+    if (options_.conspirator_distance <= 1) {
+      wire_edge(a, b);
+      continue;
+    }
+    // Fig. 20 sweep: route the tie through (distance - 1) random normal
+    // relays instead of a direct edge, bounding the pair's social distance
+    // from above by `conspirator_distance`.
+    g.remove_relationship(a, b, Relationship::kFriendship);
+    NodeId previous = a;
+    for (std::size_t hop = 1; hop < options_.conspirator_distance; ++hop) {
+      NodeId relay;
+      do {
+        relay = static_cast<NodeId>(rng.index(simulator.config().node_count));
+      } while (relay == a || relay == b ||
+               simulator.node_type(relay) != sim::NodeType::kNormal);
+      wire_edge(previous, relay);
+      previous = relay;
+    }
+    wire_edge(previous, b);
+  }
+}
+
+void CollusionModelBase::falsify_profiles(sim::Simulator& simulator,
+                                          stats::Rng& rng) {
+  // "each pair of colluders has ... identical interests. The number of
+  // identical interests is randomly chosen from [1-10]." (Section 5.8).
+  // All members of a conspirator link adopt the same declared set; the
+  // request-weighted similarity of Eq. (11) sees through this because the
+  // colluders' *actual* requests still follow their original interests.
+  const auto& cfg = simulator.config();
+  auto size = static_cast<std::size_t>(
+      rng.uniform_u64(1, std::min<std::uint64_t>(10, cfg.interest_count)));
+  auto picks = rng.sample_without_replacement(cfg.interest_count, size);
+  std::vector<InterestId> shared;
+  shared.reserve(picks.size());
+  for (std::size_t p : picks) shared.push_back(static_cast<InterestId>(p));
+  for (NodeId c : simulator.colluders()) {
+    simulator.profiles().set_interests(c, shared);
+  }
+}
+
+void CollusionModelBase::setup_compromised(sim::Simulator& simulator,
+                                           stats::Rng& rng) {
+  // "We randomly selected 7 nodes from the pretrusted nodes and let them
+  // randomly select a colluder with which to collude. We set the social
+  // distance between a compromised pretrusted node and its conspired
+  // colluder to 1." (Section 5.4).
+  const auto& pretrusted = simulator.pretrusted();
+  const auto& colluders = simulator.colluders();
+  if (pretrusted.empty() || colluders.empty()) return;
+  std::size_t count =
+      std::min(options_.compromised_pretrusted, pretrusted.size());
+  auto picks = rng.sample_without_replacement(pretrusted.size(), count);
+  auto& g = simulator.social_graph();
+  for (std::size_t p : picks) {
+    NodeId pre = pretrusted[p];
+    NodeId target = colluders[rng.index(colluders.size())];
+    simulator.set_compromised(pre);
+    compromised_.push_back(pre);
+    compromised_links_.emplace_back(pre, target);
+    g.add_relationship(pre, target, Relationship::kFriendship);
+  }
+}
+
+void CollusionModelBase::rate_many(sim::Simulator& simulator, NodeId rater,
+                                   NodeId ratee, std::size_t count,
+                                   stats::Rng& rng) {
+  auto interests = simulator.profiles().declared(ratee);
+  for (std::size_t i = 0; i < count; ++i) {
+    InterestId interest =
+        interests.empty()
+            ? reputation::kNoInterest
+            : interests[rng.index(interests.size())];
+    simulator.submit_rating(rater, ratee, options_.rating_value, interest,
+                            /*is_transaction=*/false);
+  }
+}
+
+void CollusionModelBase::on_query_cycle(sim::Simulator& simulator,
+                                        std::uint32_t /*query_cycle*/,
+                                        stats::Rng& rng) {
+  emit(simulator, rng);
+  // Compromised pretrusted nodes push their conspired colluder every query
+  // cycle at the boosting rate; the colluder rates back (mutual pair).
+  for (const auto& [pre, target] : compromised_links_) {
+    rate_many(simulator, pre, target, options_.ratings_per_query_cycle, rng);
+    rate_many(simulator, target, pre, options_.ratings_per_query_cycle, rng);
+  }
+}
+
+// --- PCM -----------------------------------------------------------------
+
+void PairwiseCollusion::pick_partners(sim::Simulator& simulator,
+                                      stats::Rng& rng) {
+  std::vector<NodeId> pool = simulator.colluders();
+  rng.shuffle(std::span<NodeId>(pool));
+  pairs_.clear();
+  for (std::size_t i = 0; i + 1 < pool.size(); i += 2) {
+    pairs_.emplace_back(pool[i], pool[i + 1]);
+    links_.emplace_back(pool[i], pool[i + 1]);
+    simulator.set_collusion_role(pool[i], CollusionRole::kBoth);
+    simulator.set_collusion_role(pool[i + 1], CollusionRole::kBoth);
+    boosting_.push_back(pool[i]);
+    boosting_.push_back(pool[i + 1]);
+    boosted_.push_back(pool[i]);
+    boosted_.push_back(pool[i + 1]);
+  }
+}
+
+void PairwiseCollusion::emit(sim::Simulator& simulator, stats::Rng& rng) {
+  for (const auto& [a, b] : pairs_) {
+    rate_many(simulator, a, b, options_.ratings_per_query_cycle, rng);
+    rate_many(simulator, b, a, options_.ratings_per_query_cycle, rng);
+  }
+}
+
+// --- MCM -----------------------------------------------------------------
+
+void MultiNodeCollusion::pick_partners(sim::Simulator& simulator,
+                                       stats::Rng& rng) {
+  const auto& colluders = simulator.colluders();
+  if (colluders.empty()) return;
+  std::size_t boosted_count =
+      std::min(options_.boosted_count, colluders.size());
+  auto picks =
+      rng.sample_without_replacement(colluders.size(), boosted_count);
+  std::vector<bool> is_boosted(colluders.size(), false);
+  for (std::size_t p : picks) {
+    is_boosted[p] = true;
+    boosted_.push_back(colluders[p]);
+    simulator.set_collusion_role(colluders[p], CollusionRole::kBoosted);
+  }
+  assignments_.clear();
+  for (std::size_t i = 0; i < colluders.size(); ++i) {
+    if (is_boosted[i]) continue;
+    NodeId booster = colluders[i];
+    NodeId target = boosted_[rng.index(boosted_.size())];
+    boosting_.push_back(booster);
+    simulator.set_collusion_role(booster, CollusionRole::kBoosting);
+    assignments_.emplace_back(booster, target);
+    links_.emplace_back(booster, target);
+  }
+}
+
+void MultiNodeCollusion::emit(sim::Simulator& simulator, stats::Rng& rng) {
+  for (const auto& [booster, target] : assignments_) {
+    rate_many(simulator, booster, target, options_.ratings_per_query_cycle,
+              rng);
+  }
+}
+
+// --- MMM -----------------------------------------------------------------
+
+void MutualMultiNodeCollusion::pick_partners(sim::Simulator& simulator,
+                                             stats::Rng& rng) {
+  const auto& colluders = simulator.colluders();
+  if (colluders.empty()) return;
+  std::size_t boosted_count =
+      std::min(options_.boosted_count, colluders.size());
+  auto picks =
+      rng.sample_without_replacement(colluders.size(), boosted_count);
+  std::vector<bool> is_boosted(colluders.size(), false);
+  for (std::size_t p : picks) {
+    is_boosted[p] = true;
+    boosted_.push_back(colluders[p]);
+    simulator.set_collusion_role(colluders[p], CollusionRole::kBoosted);
+  }
+  for (std::size_t i = 0; i < colluders.size(); ++i) {
+    if (is_boosted[i]) continue;
+    boosting_.push_back(colluders[i]);
+    simulator.set_collusion_role(colluders[i], CollusionRole::kBoosting);
+    // Mutual raters are socially wired to every boosted node they might
+    // pick; the paper fixes all colluder-colluder distances to 1.
+    for (NodeId b : boosted_) links_.emplace_back(colluders[i], b);
+  }
+}
+
+void MutualMultiNodeCollusion::emit(sim::Simulator& simulator,
+                                    stats::Rng& rng) {
+  // "each boosting node rates randomly chosen boosted nodes 20 times and
+  // the boosted node rates its boosting nodes 5 times" (Section 5.6).
+  std::vector<std::pair<NodeId, NodeId>> hits;
+  hits.reserve(boosting_.size());
+  for (NodeId booster : boosting_) {
+    if (boosted_.empty()) break;
+    NodeId target = boosted_[rng.index(boosted_.size())];
+    rate_many(simulator, booster, target, options_.ratings_per_query_cycle,
+              rng);
+    hits.emplace_back(target, booster);
+  }
+  for (const auto& [boosted, booster] : hits) {
+    rate_many(simulator, boosted, booster, options_.boosted_back_ratings,
+              rng);
+  }
+}
+
+}  // namespace st::collusion

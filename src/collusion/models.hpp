@@ -1,0 +1,153 @@
+#pragma once
+// The three collusion models of the evaluation (Section 5.1, after
+// Lian et al.'s Maze study [7]):
+//
+//   PCM — pair-wise collusion: two colluders mutually rate each other with
+//         positive values at high frequency (20 ratings / query cycle).
+//   MCM — multiple-node collusion: boosting nodes rate a boosted node at
+//         high frequency; the boosted node does not rate back.
+//   MMM — multiple & mutual collusion: boosting nodes rate boosted nodes
+//         (20 / query cycle) and boosted nodes rate back (5 / query cycle).
+//
+// Orthogonal variants, applied through CollusionOptions:
+//   * compromised pretrusted nodes join the collusion (Figs. 10, 15):
+//     each compromised pretrusted node conspires with one colluder at
+//     social distance 1;
+//   * falsified social information (Section 5.8, Figs. 16-18): colluding
+//     pairs carry exactly one social relationship and identical declared
+//     interest profiles — the counterattack on SocialTrust's detector.
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/strategy.hpp"
+
+namespace st::collusion {
+
+using sim::NodeId;
+
+struct CollusionOptions {
+  /// Fake positive ratings a boosting node emits per query cycle
+  /// ("colluders rate each other with high frequency of 20 ratings per
+  /// query cycle").
+  std::size_t ratings_per_query_cycle = 20;
+  /// MMM: ratings a boosted node returns per boosting partner per query
+  /// cycle.
+  std::size_t boosted_back_ratings = 5;
+  /// MCM/MMM: how many colluders act as boosted nodes (paper: 7).
+  std::size_t boosted_count = 7;
+  /// Number of pretrusted nodes compromised into the collusion (0 or 7 in
+  /// the paper's experiments).
+  std::size_t compromised_pretrusted = 0;
+  /// Section 5.8 counterattack: one relationship per colluding pair and
+  /// identical declared interests (set size drawn from [1, 10]).
+  bool falsify_social_info = false;
+  /// Value of each fake rating (+1 = positive collusion; -1 models the
+  /// bad-mouthing flavour).
+  double rating_value = 1.0;
+  /// Social distance at which conspirators wire themselves (Fig. 20 sweep).
+  /// 1 = direct edge (the paper's default); 2 or 3 route the tie through
+  /// randomly chosen normal-node relays instead of a direct edge, so the
+  /// pair's shortest social path has (at most) this many hops.
+  std::size_t conspirator_distance = 1;
+};
+
+/// Shared plumbing: conspirator wiring, profile falsification, compromised
+/// pretrusted bookkeeping. Concrete models implement pick_partners() and
+/// emit().
+class CollusionModelBase : public sim::CollusionStrategy {
+ public:
+  explicit CollusionModelBase(CollusionOptions options) noexcept
+      : options_(options) {}
+
+  void setup(sim::Simulator& simulator, stats::Rng& rng) final;
+  void on_query_cycle(sim::Simulator& simulator, std::uint32_t query_cycle,
+                      stats::Rng& rng) final;
+
+  const CollusionOptions& options() const noexcept { return options_; }
+
+  /// Directed conspirator links wired at setup (tests/diagnostics).
+  const std::vector<std::pair<NodeId, NodeId>>& links() const noexcept {
+    return links_;
+  }
+  const std::vector<NodeId>& boosted() const noexcept { return boosted_; }
+  const std::vector<NodeId>& boosting() const noexcept { return boosting_; }
+  const std::vector<NodeId>& compromised() const noexcept {
+    return compromised_;
+  }
+
+ protected:
+  /// Populates boosted_/boosting_/links_ from the simulator's colluder
+  /// list. links_ holds (booster -> target) pairs used for edge wiring.
+  virtual void pick_partners(sim::Simulator& simulator, stats::Rng& rng) = 0;
+
+  /// Emits this model's fake ratings for one query cycle.
+  virtual void emit(sim::Simulator& simulator, stats::Rng& rng) = 0;
+
+  /// Emits `count` fake positive ratings rater -> ratee on a random
+  /// interest of the ratee ("on an interest randomly selected from the
+  /// interests of the boosted node").
+  void rate_many(sim::Simulator& simulator, NodeId rater, NodeId ratee,
+                 std::size_t count, stats::Rng& rng);
+
+  CollusionOptions options_;
+  std::vector<std::pair<NodeId, NodeId>> links_;
+  std::vector<NodeId> boosted_;
+  std::vector<NodeId> boosting_;
+  std::vector<NodeId> compromised_;
+  /// Compromised pretrusted node -> its conspired colluder.
+  std::vector<std::pair<NodeId, NodeId>> compromised_links_;
+
+ private:
+  void wire_conspirators(sim::Simulator& simulator, stats::Rng& rng);
+  void falsify_profiles(sim::Simulator& simulator, stats::Rng& rng);
+  void setup_compromised(sim::Simulator& simulator, stats::Rng& rng);
+};
+
+/// PCM: colluders pair up; both partners are boosting and boosted.
+class PairwiseCollusion final : public CollusionModelBase {
+ public:
+  explicit PairwiseCollusion(CollusionOptions options = {}) noexcept
+      : CollusionModelBase(options) {}
+  std::string_view name() const noexcept override { return "PCM"; }
+
+ protected:
+  void pick_partners(sim::Simulator& simulator, stats::Rng& rng) override;
+  void emit(sim::Simulator& simulator, stats::Rng& rng) override;
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> pairs_;
+};
+
+/// MCM: boosting nodes each pick one boosted node; no back-rating.
+class MultiNodeCollusion final : public CollusionModelBase {
+ public:
+  explicit MultiNodeCollusion(CollusionOptions options = {}) noexcept
+      : CollusionModelBase(options) {}
+  std::string_view name() const noexcept override { return "MCM"; }
+
+ protected:
+  void pick_partners(sim::Simulator& simulator, stats::Rng& rng) override;
+  void emit(sim::Simulator& simulator, stats::Rng& rng) override;
+
+ private:
+  /// boosting node -> its fixed boosted target
+  std::vector<std::pair<NodeId, NodeId>> assignments_;
+};
+
+/// MMM: boosting nodes rate a random boosted node each query cycle; the
+/// boosted node rates those boosters back.
+class MutualMultiNodeCollusion final : public CollusionModelBase {
+ public:
+  explicit MutualMultiNodeCollusion(CollusionOptions options = {}) noexcept
+      : CollusionModelBase(options) {}
+  std::string_view name() const noexcept override { return "MMM"; }
+
+ protected:
+  void pick_partners(sim::Simulator& simulator, stats::Rng& rng) override;
+  void emit(sim::Simulator& simulator, stats::Rng& rng) override;
+};
+
+}  // namespace st::collusion

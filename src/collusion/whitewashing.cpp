@@ -1,0 +1,81 @@
+#include "collusion/whitewashing.hpp"
+
+#include <algorithm>
+
+namespace st::collusion {
+
+using graph::Relationship;
+using sim::InterestId;
+using sim::NodeId;
+
+void WhitewashingCollusion::wire_pair(sim::Simulator& simulator, NodeId a,
+                                      NodeId b, stats::Rng& rng) {
+  const auto& cfg = simulator.config();
+  auto count = static_cast<std::size_t>(
+      rng.uniform_u64(cfg.colluder_relationships_min,
+                      cfg.colluder_relationships_max));
+  auto rels =
+      rng.sample_without_replacement(graph::kRelationshipCount, count);
+  for (std::size_t r : rels) {
+    simulator.social_graph().add_relationship(
+        a, b, static_cast<Relationship>(r));
+  }
+}
+
+void WhitewashingCollusion::setup(sim::Simulator& simulator,
+                                  stats::Rng& rng) {
+  std::vector<NodeId> pool = simulator.colluders();
+  rng.shuffle(std::span<NodeId>(pool));
+  for (std::size_t i = 0; i + 1 < pool.size(); i += 2) {
+    pairs_.emplace_back(pool[i], pool[i + 1]);
+    simulator.set_collusion_role(pool[i], sim::CollusionRole::kBoth);
+    simulator.set_collusion_role(pool[i + 1], sim::CollusionRole::kBoth);
+    wire_pair(simulator, pool[i], pool[i + 1], rng);
+  }
+  cooldown_.assign(simulator.config().node_count, 0);
+}
+
+void WhitewashingCollusion::on_query_cycle(sim::Simulator& simulator,
+                                           std::uint32_t /*query_cycle*/,
+                                           stats::Rng& rng) {
+  auto& system = simulator.system();
+  auto maybe_whitewash = [&](NodeId node, NodeId partner) {
+    if (cooldown_[node] > 0) {
+      --cooldown_[node];
+      return false;  // still lying low
+    }
+    if (system.reputation(node) >= options_.whitewash_below) return false;
+    if (simulator.whitewash_count(node) >= options_.max_whitewashes)
+      return false;
+    // Only reset once the identity has accumulated *negative* standing —
+    // a zero-reputation node early in the run has nothing to shed yet.
+    if (simulator.social_graph().total_interactions(node) == 0.0)
+      return false;
+    simulator.whitewash(node);
+    wire_pair(simulator, node, partner, rng);
+    cooldown_[node] = options_.cooldown_query_cycles;
+    ++total_whitewashes_;
+    return true;
+  };
+
+  for (const auto& [a, b] : pairs_) {
+    maybe_whitewash(a, b);
+    maybe_whitewash(b, a);
+    if (cooldown_[a] > 0 || cooldown_[b] > 0) continue;
+    auto rate = [&](NodeId rater, NodeId ratee) {
+      auto interests = simulator.profiles().declared(ratee);
+      for (std::size_t k = 0; k < options_.ratings_per_query_cycle; ++k) {
+        InterestId interest =
+            interests.empty()
+                ? reputation::kNoInterest
+                : interests[rng.index(interests.size())];
+        simulator.submit_rating(rater, ratee, 1.0, interest,
+                                /*is_transaction=*/false);
+      }
+    };
+    rate(a, b);
+    rate(b, a);
+  }
+}
+
+}  // namespace st::collusion

@@ -1,0 +1,62 @@
+#pragma once
+// Whitewashing collusion — an extension attack beyond the paper.
+//
+// Reputation systems with cheap identities are vulnerable to peers that
+// discard a bad identity and rejoin fresh (Friedman & Resnick's classic
+// "social cost of cheap pseudonyms"). Combined with collusion it probes a
+// specific question the paper leaves open: once SocialTrust has crushed a
+// colluder's reputation, can the colluder simply reset and resume?
+//
+// The strategy runs pair-wise collusion; whenever a colluder's reputation
+// has been pushed below `whitewash_below`, it whitewashes (the simulator
+// erases its reputation evidence, social edges, interaction and request
+// history), re-wires its conspirator edge, and resumes rating. A per-node
+// whitewash budget caps the churn.
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/strategy.hpp"
+
+namespace st::collusion {
+
+struct WhitewashingOptions {
+  /// Fake positive ratings per partner per query cycle.
+  std::size_t ratings_per_query_cycle = 20;
+  /// Reputation threshold that triggers an identity reset.
+  double whitewash_below = 1e-4;
+  /// Maximum identity resets per colluder over the whole run.
+  std::uint32_t max_whitewashes = 5;
+  /// Query cycles to lie low after a reset before resuming the attack
+  /// (immediately resuming re-triggers detection on the same interval).
+  std::uint32_t cooldown_query_cycles = 10;
+};
+
+class WhitewashingCollusion final : public sim::CollusionStrategy {
+ public:
+  explicit WhitewashingCollusion(WhitewashingOptions options = {}) noexcept
+      : options_(options) {}
+
+  std::string_view name() const noexcept override { return "Whitewashing"; }
+  void setup(sim::Simulator& simulator, stats::Rng& rng) override;
+  void on_query_cycle(sim::Simulator& simulator, std::uint32_t query_cycle,
+                      stats::Rng& rng) override;
+
+  const WhitewashingOptions& options() const noexcept { return options_; }
+  std::uint64_t total_whitewashes() const noexcept {
+    return total_whitewashes_;
+  }
+
+ private:
+  void wire_pair(sim::Simulator& simulator, sim::NodeId a, sim::NodeId b,
+                 stats::Rng& rng);
+
+  WhitewashingOptions options_;
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> pairs_;
+  std::vector<std::uint32_t> cooldown_;  // per colluder index
+  std::uint64_t total_whitewashes_ = 0;
+};
+
+}  // namespace st::collusion

@@ -1,0 +1,77 @@
+#include "core/closeness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace st::core {
+
+ClosenessModel::ClosenessModel(bool weighted, double lambda,
+                               RelationshipWeightFn weight_fn)
+    : weighted_(weighted),
+      lambda_(lambda),
+      weight_fn_(weight_fn ? std::move(weight_fn)
+                           : RelationshipWeightFn(
+                                 graph::default_relationship_weight)) {}
+
+double ClosenessModel::relationship_mass(const graph::SocialGraph& g,
+                                         graph::NodeId i,
+                                         graph::NodeId j) const {
+  if (!weighted_) {
+    return static_cast<double>(g.relationship_count(i, j));
+  }
+  // Eq. (10): sort relationship weights descending, decay the l-th by
+  // lambda^(l-1), sum. Adding many weak relationships therefore changes
+  // the mass only marginally.
+  std::vector<double> weights;
+  for (graph::Relationship r : g.relationships(i, j)) {
+    weights.push_back(weight_fn_(r));
+  }
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  double mass = 0.0;
+  double decay = 1.0;
+  for (double w : weights) {
+    mass += decay * w;
+    decay *= lambda_;
+  }
+  return mass;
+}
+
+double ClosenessModel::adjacent_closeness(const graph::SocialGraph& g,
+                                          graph::NodeId i,
+                                          graph::NodeId j) const {
+  if (!g.adjacent(i, j)) return 0.0;
+  double total = g.total_interactions(i);
+  if (total <= 0.0) return 0.0;
+  return relationship_mass(g, i, j) * g.interaction(i, j) / total;
+}
+
+double ClosenessModel::closeness(const graph::SocialGraph& g,
+                                 graph::NodeId i, graph::NodeId j,
+                                 std::size_t max_hops) const {
+  if (i == j) return 0.0;  // self-closeness is meaningless for rating pairs
+  if (g.adjacent(i, j)) return adjacent_closeness(g, i, j);
+
+  // Eq. (3): friend-of-friend average over common friends.
+  std::vector<graph::NodeId> common = g.common_friends(i, j);
+  if (!common.empty()) {
+    double sum = 0.0;
+    for (graph::NodeId k : common) {
+      sum += (adjacent_closeness(g, i, k) + adjacent_closeness(g, k, j)) / 2.0;
+    }
+    return sum;
+  }
+
+  // Eq. (4) fallback: bottleneck (minimum) adjacent closeness along one
+  // shortest social path.
+  auto path = g.shortest_path(i, j, max_hops);
+  if (!path || path->size() < 2) return 0.0;
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (std::size_t step = 0; step + 1 < path->size(); ++step) {
+    bottleneck = std::min(
+        bottleneck, adjacent_closeness(g, (*path)[step], (*path)[step + 1]));
+  }
+  return std::isfinite(bottleneck) ? bottleneck : 0.0;
+}
+
+}  // namespace st::core

@@ -1,0 +1,60 @@
+#pragma once
+// Social closeness Omega_c — Eqs. (2), (3), (4) and the hardened Eq. (10).
+//
+// For adjacent nodes:
+//     Omega_c(i,j) = m(i,j) * f(i,j) / sum_k f(i,k)            (Eq. 2)
+// or, with typed relationship weights sorted descending and decayed by
+// lambda^(l-1):
+//     Omega_c(i,j) = (sum_l lambda^(l-1) w_dl) * f(i,j) / sum_k f(i,k)
+//                                                              (Eq. 10)
+// For non-adjacent nodes with common friends k:
+//     Omega_c(i,j) = sum_k (Omega_c(i,k) + Omega_c(k,j)) / 2   (Eq. 3)
+// For non-adjacent nodes without common friends: the minimum adjacent
+// closeness along one shortest social path (bottleneck closeness, Eq. 4).
+// Unreachable pairs have closeness 0.
+
+#include <functional>
+
+#include "core/config.hpp"
+#include "graph/social_graph.hpp"
+
+namespace st::core {
+
+/// Computes Omega_c over a SocialGraph. Stateless beyond its configuration;
+/// all social data lives in the graph.
+class ClosenessModel {
+ public:
+  using RelationshipWeightFn = std::function<double(graph::Relationship)>;
+
+  /// `weighted` selects Eq. (10) vs Eq. (2) for the adjacent case;
+  /// `lambda` is the relationship decay of Eq. (10); `weight_fn` maps
+  /// relationship types to weights (defaults to
+  /// graph::default_relationship_weight).
+  explicit ClosenessModel(bool weighted = true, double lambda = 0.8,
+                          RelationshipWeightFn weight_fn = {});
+
+  /// Full Omega_c(i,j) with the non-adjacent fallbacks. `max_hops` caps
+  /// the shortest-path search of the bottleneck case.
+  double closeness(const graph::SocialGraph& g, graph::NodeId i,
+                   graph::NodeId j, std::size_t max_hops = 6) const;
+
+  /// Adjacent-only Omega_c (Eq. 2 / Eq. 10); 0 when not adjacent or when
+  /// i has no recorded interactions.
+  double adjacent_closeness(const graph::SocialGraph& g, graph::NodeId i,
+                            graph::NodeId j) const;
+
+  bool weighted() const noexcept { return weighted_; }
+  double lambda() const noexcept { return lambda_; }
+
+ private:
+  /// Eq. (10)'s decayed relationship-weight sum, or plain m(i,j) for the
+  /// unweighted variant.
+  double relationship_mass(const graph::SocialGraph& g, graph::NodeId i,
+                           graph::NodeId j) const;
+
+  bool weighted_;
+  double lambda_;
+  RelationshipWeightFn weight_fn_;
+};
+
+}  // namespace st::core

@@ -1,0 +1,50 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+
+namespace st::core {
+
+double BehaviorDetector::positive_threshold(
+    double average_pair_frequency) const noexcept {
+  return std::max(config_.positive_count_floor,
+                  config_.theta * average_pair_frequency);
+}
+
+double BehaviorDetector::negative_threshold(
+    double average_pair_frequency) const noexcept {
+  return std::max(config_.negative_count_floor,
+                  config_.theta * average_pair_frequency);
+}
+
+Behavior BehaviorDetector::classify(
+    const PairEvidence& e, double average_pair_frequency) const noexcept {
+  Behavior result = Behavior::kNone;
+
+  // Adaptive closeness cut points: closeness is not normalised across
+  // raters, so "very high"/"very low" is judged relative to the rater's
+  // own average closeness to the nodes it rates.
+  const double mean_c = e.rater_closeness.mean;
+  const double high_c = mean_c * config_.closeness_high_factor;
+  const double low_c = mean_c * config_.closeness_low_factor;
+
+  if (e.positive_count > positive_threshold(average_pair_frequency)) {
+    // B1: frequent positive ratings across a weak social tie.
+    if (e.closeness < low_c) result = result | Behavior::kB1;
+    // B2: frequent positive ratings toward a low-reputed, very close node.
+    if (e.closeness > high_c && e.ratee_reputation < config_.low_reputation)
+      result = result | Behavior::kB2;
+    // B3: frequent positive ratings despite few shared interests.
+    if (e.similarity < config_.similarity_low) result = result | Behavior::kB3;
+  }
+
+  if (e.negative_count > negative_threshold(average_pair_frequency)) {
+    // B4: frequent negative ratings despite many shared interests —
+    // the competitor-suppression pattern.
+    if (e.similarity > config_.similarity_high)
+      result = result | Behavior::kB4;
+  }
+
+  return result;
+}
+
+}  // namespace st::core

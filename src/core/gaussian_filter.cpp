@@ -1,0 +1,55 @@
+#include "core/gaussian_filter.hpp"
+
+#include <cmath>
+
+namespace st::core {
+
+namespace {
+
+/// Squared, width-normalised deviation (x - b)^2 / (2 c^2); the exponent
+/// contribution of one coefficient.
+double exponent_term(double x, const CoefficientStats& stats,
+                     GaussianWidth mode) noexcept {
+  double dev = x - stats.mean;
+  if (dev == 0.0) return 0.0;
+  double c = stats.width(mode);
+  if (c <= 0.0) {
+    // Degenerate width: treat the deviation itself as the width, which
+    // yields the constant exponent 1/2 — a mild, well-defined attenuation
+    // instead of a division by zero.
+    return 0.5;
+  }
+  return (dev * dev) / (2.0 * c * c);
+}
+
+}  // namespace
+
+double gaussian_weight(double x, const CoefficientStats& stats, double alpha,
+                       GaussianWidth mode) noexcept {
+  return alpha * std::exp(-exponent_term(x, stats, mode));
+}
+
+double gaussian_weight2(double closeness, const CoefficientStats& c_stats,
+                        double similarity, const CoefficientStats& s_stats,
+                        double alpha, GaussianWidth mode) noexcept {
+  return alpha * std::exp(-(exponent_term(closeness, c_stats, mode) +
+                            exponent_term(similarity, s_stats, mode)));
+}
+
+double adjustment_weight(AdjustmentComponents components, double closeness,
+                         const CoefficientStats& c_stats, double similarity,
+                         const CoefficientStats& s_stats, double alpha,
+                         GaussianWidth mode) noexcept {
+  switch (components) {
+    case AdjustmentComponents::kClosenessOnly:
+      return gaussian_weight(closeness, c_stats, alpha, mode);
+    case AdjustmentComponents::kSimilarityOnly:
+      return gaussian_weight(similarity, s_stats, alpha, mode);
+    case AdjustmentComponents::kCombined:
+      return gaussian_weight2(closeness, c_stats, similarity, s_stats, alpha,
+                              mode);
+  }
+  return alpha;
+}
+
+}  // namespace st::core

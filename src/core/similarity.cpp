@@ -1,0 +1,166 @@
+#include "core/similarity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace st::core {
+
+InterestProfiles::InterestProfiles(std::size_t node_count,
+                                   std::size_t category_count)
+    : categories_(category_count),
+      declared_(node_count),
+      request_counts_(node_count, std::vector<double>(category_count, 0.0)),
+      request_totals_(node_count, 0.0) {
+  if (category_count == 0)
+    throw std::invalid_argument("InterestProfiles: need >= 1 category");
+}
+
+void InterestProfiles::check_node(NodeId node) const {
+  if (node >= declared_.size())
+    throw std::out_of_range("InterestProfiles: node out of range");
+}
+
+void InterestProfiles::set_interests(NodeId node,
+                                     std::span<const InterestId> interests) {
+  check_node(node);
+  auto& set = declared_[node];
+  set.clear();
+  for (InterestId id : interests) {
+    if (id < categories_) set.push_back(id);
+  }
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+}
+
+void InterestProfiles::add_interest(NodeId node, InterestId interest) {
+  check_node(node);
+  if (interest >= categories_) return;
+  auto& set = declared_[node];
+  auto it = std::lower_bound(set.begin(), set.end(), interest);
+  if (it == set.end() || *it != interest) set.insert(it, interest);
+}
+
+void InterestProfiles::remove_interest(NodeId node, InterestId interest) {
+  check_node(node);
+  auto& set = declared_[node];
+  auto it = std::lower_bound(set.begin(), set.end(), interest);
+  if (it != set.end() && *it == interest) set.erase(it);
+}
+
+std::span<const InterestId> InterestProfiles::declared(NodeId node) const {
+  check_node(node);
+  return declared_[node];
+}
+
+void InterestProfiles::record_request(NodeId node, InterestId category,
+                                      double count) {
+  check_node(node);
+  if (category >= categories_ || count <= 0.0) return;
+  request_counts_[node][category] += count;
+  request_totals_[node] += count;
+}
+
+double InterestProfiles::request_weight(NodeId node,
+                                        InterestId category) const {
+  check_node(node);
+  if (category >= categories_ || request_totals_[node] <= 0.0) return 0.0;
+  return request_counts_[node][category] / request_totals_[node];
+}
+
+double InterestProfiles::total_requests(NodeId node) const {
+  check_node(node);
+  return request_totals_[node];
+}
+
+std::vector<InterestId> InterestProfiles::effective(NodeId node) const {
+  check_node(node);
+  std::vector<InterestId> result = declared_[node];
+  for (std::size_t c = 0; c < categories_; ++c) {
+    if (request_counts_[node][c] > 0.0) {
+      auto id = static_cast<InterestId>(c);
+      auto it = std::lower_bound(result.begin(), result.end(), id);
+      if (it == result.end() || *it != id) result.insert(it, id);
+    }
+  }
+  return result;
+}
+
+void InterestProfiles::clear_requests(NodeId node) {
+  check_node(node);
+  std::fill(request_counts_[node].begin(), request_counts_[node].end(), 0.0);
+  request_totals_[node] = 0.0;
+}
+
+double InterestProfiles::similarity(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const auto& va = declared_[a];
+  const auto& vb = declared_[b];
+  if (va.empty() || vb.empty()) return 0.0;
+  std::size_t overlap = 0;
+  auto ia = va.begin();
+  auto ib = vb.begin();
+  while (ia != va.end() && ib != vb.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++overlap;
+      ++ia;
+      ++ib;
+    }
+  }
+  return static_cast<double>(overlap) /
+         static_cast<double>(std::min(va.size(), vb.size()));
+}
+
+double InterestProfiles::weighted_similarity(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  std::vector<InterestId> va = effective(a);
+  std::vector<InterestId> vb = effective(b);
+  if (va.empty() || vb.empty()) return 0.0;
+  double sum = 0.0;
+  auto ia = va.begin();
+  auto ib = vb.begin();
+  while (ia != va.end() && ib != vb.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      sum += std::min(request_weight(a, *ia), request_weight(b, *ib));
+      ++ia;
+      ++ib;
+    }
+  }
+  return sum;
+}
+
+double InterestProfiles::weighted_similarity_eq11(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  std::vector<InterestId> va = effective(a);
+  std::vector<InterestId> vb = effective(b);
+  if (va.empty() || vb.empty()) return 0.0;
+  double sum = 0.0;
+  auto ia = va.begin();
+  auto ib = vb.begin();
+  while (ia != va.end() && ib != vb.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      sum += request_weight(a, *ia) * request_weight(b, *ib);
+      ++ia;
+      ++ib;
+    }
+  }
+  // Eq. (11) keeps Eq. (7)'s denominator; the numerator swaps set
+  // membership for behavioural weight products.
+  return sum / static_cast<double>(std::min(va.size(), vb.size()));
+}
+
+}  // namespace st::core

@@ -1,0 +1,87 @@
+#pragma once
+// Interest profiles and interest similarity Omega_s — Eq. (7) and the
+// hardened, request-weighted Eq. (11).
+//
+//     Omega_s(i,j) = |Vi ∩ Vj| / min(|Vi|, |Vj|)               (Eq. 7)
+//     Omega_s(i,j) = sum_l ws(i,l) * ws(j,l) / min(|Vi|, |Vj|) (Eq. 11)
+// where ws(i,l) is the share of node i's resource requests that fall in
+// category l. Per Section 4.4, falsifying the *declared* profile does not
+// fool Eq. (11): requests on a deleted interest still reveal it, and a
+// declared interest with no requests contributes nothing. We therefore
+// evaluate Eq. (11) over the *effective* interest set — declared interests
+// plus any category the node actually requested from.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "reputation/rating.hpp"
+
+namespace st::core {
+
+using reputation::InterestId;
+using reputation::NodeId;
+
+class InterestProfiles {
+ public:
+  /// `node_count` peers over `category_count` product/resource categories.
+  InterestProfiles(std::size_t node_count, std::size_t category_count);
+
+  std::size_t node_count() const noexcept { return declared_.size(); }
+  std::size_t category_count() const noexcept { return categories_; }
+
+  /// Replaces the declared interest set of `node` (the profile a user
+  /// fills out). Duplicate/out-of-range categories are dropped.
+  void set_interests(NodeId node, std::span<const InterestId> interests);
+
+  void add_interest(NodeId node, InterestId interest);
+  void remove_interest(NodeId node, InterestId interest);
+
+  /// Declared interests, ascending.
+  std::span<const InterestId> declared(NodeId node) const;
+
+  /// Records `count` resource requests by `node` in `category` — the
+  /// behavioural signal Eq. (11) weighs.
+  void record_request(NodeId node, InterestId category, double count = 1.0);
+
+  /// ws(node, category): share of the node's requests in that category
+  /// (0 when the node made no requests).
+  double request_weight(NodeId node, InterestId category) const;
+
+  double total_requests(NodeId node) const;
+
+  /// Effective interest set: declared ∪ requested-from categories.
+  std::vector<InterestId> effective(NodeId node) const;
+
+  /// Erases the node's request history (whitewashing support; the
+  /// declared profile is left for the caller to re-declare).
+  void clear_requests(NodeId node);
+
+  /// Eq. (7) over declared sets. Returns 0 when either set is empty.
+  double similarity(NodeId a, NodeId b) const;
+
+  /// Behaviour-weighted similarity over effective interest sets, as a
+  /// histogram intersection: sum_l min(ws(a,l), ws(b,l)). In [0, 1]; 1 for
+  /// identical request distributions, 0 for disjoint ones. This keeps the
+  /// falsification resistance Section 4.4 wants from Eq. (11) — declared
+  /// interests with no requests contribute nothing, deleted interests with
+  /// requests still count — while staying scale-comparable with Eq. (7)
+  /// (the literal Eq. (11), available below, self-normalises to near zero
+  /// even for identical twins: sum_l ws^2 / min(|V|) <= 1/|V|^2, so "low
+  /// similarity" ceases to be an anomaly signal).
+  double weighted_similarity(NodeId a, NodeId b) const;
+
+  /// The literal Eq. (11): sum_l ws(a,l)*ws(b,l) / min(|Va|, |Vb|) over
+  /// common effective interests. Kept for the ablation bench and tests.
+  double weighted_similarity_eq11(NodeId a, NodeId b) const;
+
+ private:
+  void check_node(NodeId node) const;
+
+  std::size_t categories_;
+  std::vector<std::vector<InterestId>> declared_;        // sorted
+  std::vector<std::vector<double>> request_counts_;      // dense per category
+  std::vector<double> request_totals_;
+};
+
+}  // namespace st::core

@@ -1,0 +1,308 @@
+#include "core/socialtrust.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace st::core {
+
+using reputation::NodeId;
+using reputation::PairKey;
+using reputation::Rating;
+
+SocialTrustPlugin::SocialTrustPlugin(
+    std::unique_ptr<reputation::ReputationSystem> inner,
+    const graph::SocialGraph& graph, const InterestProfiles& profiles,
+    SocialTrustConfig config)
+    : inner_(std::move(inner)),
+      graph_(graph),
+      profiles_(profiles),
+      config_(config),
+      closeness_model_(config.weighted_relationships, config.lambda),
+      detector_(config) {
+  if (!inner_) throw std::invalid_argument("SocialTrustPlugin: null inner");
+  if (graph_.size() < inner_->size() ||
+      profiles_.node_count() < inner_->size()) {
+    throw std::invalid_argument(
+        "SocialTrustPlugin: graph/profiles smaller than reputation domain");
+  }
+  name_ = std::string(inner_->name()) + "+SocialTrust";
+  rated_history_.resize(inner_->size());
+}
+
+// --- LooAggregate -----------------------------------------------------------
+
+void SocialTrustPlugin::LooAggregate::add(double v) noexcept {
+  if (n == 0) {
+    min1 = min2 = max1 = max2 = v;
+  } else {
+    if (v < min1) {
+      min2 = min1;
+      min1 = v;
+    } else if (n == 1 || v < min2) {
+      min2 = v;
+    }
+    if (v > max1) {
+      max2 = max1;
+      max1 = v;
+    } else if (n == 1 || v > max2) {
+      max2 = v;
+    }
+  }
+  sum += v;
+  sum_sq += v * v;
+  ++n;
+}
+
+namespace {
+double population_stddev(double sum, double sum_sq, std::size_t n) noexcept {
+  if (n == 0) return 0.0;
+  double mean = sum / static_cast<double>(n);
+  double var = sum_sq / static_cast<double>(n) - mean * mean;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+}  // namespace
+
+bool SocialTrustPlugin::LooAggregate::without(
+    double v, CoefficientStats& out) const noexcept {
+  if (n <= 1) return false;
+  out.mean = (sum - v) / static_cast<double>(n - 1);
+  out.min = (v == min1) ? min2 : min1;
+  out.max = (v == max1) ? max2 : max1;
+  out.stddev = population_stddev(sum - v, sum_sq - v * v, n - 1);
+  return true;
+}
+
+CoefficientStats SocialTrustPlugin::LooAggregate::full() const noexcept {
+  CoefficientStats out;
+  if (n == 0) return out;
+  out.mean = sum / static_cast<double>(n);
+  out.min = min1;
+  out.max = max1;
+  out.stddev = population_stddev(sum, sum_sq, n);
+  return out;
+}
+
+// --- helpers ----------------------------------------------------------------
+
+namespace {
+
+/// Median/MAD-based CoefficientStats. `values` is consumed (sorted in
+/// place). The width is the normal-consistent 1.4826 * MAD; when the MAD
+/// degenerates to zero (over half the values identical) it falls back to
+/// the population stddev so genuinely spread data still gets a width.
+CoefficientStats robust_stats(std::vector<double>& values) {
+  CoefficientStats out;
+  if (values.empty()) return out;
+  auto median_of = [](std::vector<double>& v) {
+    std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+    double m = v[mid];
+    if (v.size() % 2 == 0) {
+      double lower =
+          *std::max_element(v.begin(), v.begin() + static_cast<long>(mid));
+      m = (m + lower) / 2.0;
+    }
+    return m;
+  };
+  out.min = *std::min_element(values.begin(), values.end());
+  out.max = *std::max_element(values.begin(), values.end());
+  double med = median_of(values);
+  out.mean = med;
+  std::vector<double> deviations(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    deviations[i] = std::fabs(values[i] - med);
+  double mad = median_of(deviations);
+  if (mad > 0.0) {
+    out.stddev = 1.4826 * mad;
+  } else {
+    double sum = 0.0, sum_sq = 0.0;
+    for (double v : values) {
+      sum += v;
+      sum_sq += v * v;
+    }
+    double mean = sum / static_cast<double>(values.size());
+    double var = sum_sq / static_cast<double>(values.size()) - mean * mean;
+    out.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+double SocialTrustPlugin::closeness_cached(NodeId i, NodeId j) {
+  std::uint64_t key = (static_cast<std::uint64_t>(i) << 32U) | j;
+  auto it = closeness_cache_.find(key);
+  if (it != closeness_cache_.end()) return it->second;
+  double value = closeness_model_.closeness(graph_, i, j);
+  closeness_cache_.emplace(key, value);
+  return value;
+}
+
+double SocialTrustPlugin::similarity_of(NodeId i, NodeId j) const {
+  return config_.weighted_interests ? profiles_.weighted_similarity(i, j)
+                                    : profiles_.similarity(i, j);
+}
+
+SocialTrustPlugin::LooAggregate SocialTrustPlugin::aggregate_over(
+    NodeId rater, const std::vector<NodeId>& ratees, bool closeness) {
+  LooAggregate agg;
+  for (NodeId j : ratees) {
+    agg.add(closeness ? closeness_cached(rater, j) : similarity_of(rater, j));
+  }
+  return agg;
+}
+
+// --- update -----------------------------------------------------------------
+
+void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
+  closeness_cache_.clear();
+  adjusted_.assign(cycle_ratings.begin(), cycle_ratings.end());
+  report_ = AdjustmentReport{};
+
+  // 1. Tally pairs and extend per-rater rating history.
+  PairMap pairs;
+  for (std::size_t idx = 0; idx < adjusted_.size(); ++idx) {
+    const Rating& r = adjusted_[idx];
+    if (r.rater >= inner_->size() || r.ratee >= inner_->size() ||
+        r.rater == r.ratee) {
+      continue;
+    }
+    PairTally& tally = pairs[PairKey{r.rater, r.ratee}];
+    if (r.value > 0.0) {
+      tally.positive += 1.0;
+    } else if (r.value < 0.0) {
+      tally.negative += 1.0;
+    }
+    tally.rating_indices.push_back(idx);
+
+    auto& hist = rated_history_[r.rater];
+    auto it = std::lower_bound(hist.begin(), hist.end(), r.ratee);
+    if (it == hist.end() || *it != r.ratee) hist.insert(it, r.ratee);
+  }
+  report_.pairs_total = pairs.size();
+
+  // 2. System-average per-pair frequency F for this interval.
+  double total_count = 0.0;
+  for (const auto& [key, tally] : pairs)
+    total_count += tally.positive + tally.negative;
+  double avg_freq =
+      pairs.empty() ? 0.0 : total_count / static_cast<double>(pairs.size());
+
+  // 3. Gaussian baseline statistics.
+  // System-wide aggregates over this interval's active pairs serve either
+  // as the primary baseline (BaselineSource::kSystemWide — the paper's
+  // "empirical" alternative), as the hybrid's second opinion, or as the
+  // fallback when a rater's leave-one-out set is empty. They use robust
+  // statistics (median centre, MAD-derived width): colluding pairs can be
+  // a sizeable fraction of the interval's pairs, and with mean/stddev the
+  // attack would inflate the baseline spread enough to exonerate itself.
+  std::vector<double> sys_c_values, sys_s_values;
+  sys_c_values.reserve(pairs.size());
+  sys_s_values.reserve(pairs.size());
+  for (const auto& [key, tally] : pairs) {
+    sys_c_values.push_back(closeness_cached(key.rater, key.ratee));
+    sys_s_values.push_back(similarity_of(key.rater, key.ratee));
+  }
+  const CoefficientStats system_c = robust_stats(sys_c_values);
+  const CoefficientStats system_s = robust_stats(sys_s_values);
+
+  // Per-rater aggregates over each rater's cumulative rated set.
+  const bool use_per_rater = config_.baseline != BaselineSource::kSystemWide;
+  std::unordered_map<NodeId, LooAggregate> rater_c_agg, rater_s_agg;
+  if (use_per_rater) {
+    for (const auto& [key, tally] : pairs) {
+      if (rater_c_agg.count(key.rater)) continue;
+      rater_c_agg.emplace(
+          key.rater, aggregate_over(key.rater, rated_history_[key.rater],
+                                    /*closeness=*/true));
+      rater_s_agg.emplace(
+          key.rater, aggregate_over(key.rater, rated_history_[key.rater],
+                                    /*closeness=*/false));
+    }
+  }
+
+  // 4. Detect and adjust.
+  double weight_sum = 0.0;
+  for (const auto& [key, tally] : pairs) {
+    const double pair_c = closeness_cached(key.rater, key.ratee);
+    const double pair_s = similarity_of(key.rater, key.ratee);
+
+    // Leave-one-out per-rater stats (Section 4.1's "other nodes it has
+    // rated"), falling back to the system-wide empirical baseline.
+    CoefficientStats c_stats = system_c;
+    CoefficientStats s_stats = system_s;
+    if (use_per_rater) {
+      rater_c_agg[key.rater].without(pair_c, c_stats);
+      rater_s_agg[key.rater].without(pair_s, s_stats);
+    }
+
+    PairEvidence evidence;
+    evidence.positive_count = tally.positive;
+    evidence.negative_count = tally.negative;
+    evidence.closeness = pair_c;
+    evidence.similarity = pair_s;
+    evidence.ratee_reputation = inner_->reputation(key.ratee);
+    evidence.rater_closeness = c_stats;
+
+    Behavior behavior = detector_.classify(evidence, avg_freq);
+    if (any(behavior & Behavior::kB1)) ++report_.b1;
+    if (any(behavior & Behavior::kB2)) ++report_.b2;
+    if (any(behavior & Behavior::kB3)) ++report_.b3;
+    if (any(behavior & Behavior::kB4)) ++report_.b4;
+
+    bool adjust = config_.gate_on_detector ? any(behavior) : true;
+    if (!adjust) continue;
+    if (any(behavior)) ++report_.pairs_flagged;
+
+    double weight =
+        adjustment_weight(config_.components, pair_c, c_stats, pair_s,
+                          s_stats, config_.alpha, config_.width);
+    if (config_.baseline == BaselineSource::kHybrid) {
+      // Hybrid: also evaluate against the system-wide baseline and keep
+      // the stronger attenuation — robust to per-rater baselines that a
+      // multi-conspirator colluder has poisoned with its own pairs.
+      weight = std::min(
+          weight, adjustment_weight(config_.components, pair_c, system_c,
+                                    pair_s, system_s, config_.alpha,
+                                    config_.width));
+    }
+    if (any(behavior)) {
+      report_.flagged.push_back(
+          FlaggedPair{key.rater, key.ratee, behavior, weight});
+    }
+    for (std::size_t idx : tally.rating_indices) {
+      adjusted_[idx].value *= weight;
+      ++report_.ratings_adjusted;
+      weight_sum += weight;
+    }
+  }
+  report_.mean_weight = report_.ratings_adjusted > 0
+                            ? weight_sum /
+                                  static_cast<double>(report_.ratings_adjusted)
+                            : 1.0;
+
+  // 5. Feed the adjusted stream to the wrapped system.
+  inner_->update(adjusted_);
+}
+
+void SocialTrustPlugin::forget_node(NodeId node) {
+  inner_->forget_node(node);
+  if (node < rated_history_.size()) rated_history_[node].clear();
+  // The discarded identity also disappears from other raters' histories.
+  for (auto& hist : rated_history_) {
+    auto it = std::lower_bound(hist.begin(), hist.end(), node);
+    if (it != hist.end() && *it == node) hist.erase(it);
+  }
+}
+
+void SocialTrustPlugin::reset() {
+  inner_->reset();
+  for (auto& hist : rated_history_) hist.clear();
+  closeness_cache_.clear();
+  adjusted_.clear();
+  report_ = AdjustmentReport{};
+}
+
+}  // namespace st::core

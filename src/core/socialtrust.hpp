@@ -1,0 +1,136 @@
+#pragma once
+// SocialTrustPlugin — the paper's contribution, as a wrapper around any
+// ReputationSystem (Section 4).
+//
+// On every reputation-update interval the plugin:
+//   1. tallies per-pair positive/negative rating counts (t+, t-),
+//   2. computes each active rater's social closeness Omega_c and interest
+//      similarity Omega_s to the nodes it has rated (cumulative history),
+//   3. runs the B1-B4 detector on every high-frequency pair,
+//   4. rescales flagged ratings with the Gaussian filter (Eqs. 6/8/9),
+//   5. hands the adjusted rating stream to the wrapped system.
+//
+// The plugin is itself a ReputationSystem, so "EigenTrust + SocialTrust"
+// and "eBay + SocialTrust" are literally `SocialTrustPlugin(EigenTrust)` /
+// `SocialTrustPlugin(EbayReputation)` — the construction the evaluation
+// section compares.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/closeness.hpp"
+#include "core/config.hpp"
+#include "core/detector.hpp"
+#include "core/similarity.hpp"
+#include "reputation/ledger.hpp"
+#include "reputation/reputation_system.hpp"
+
+namespace st::core {
+
+/// One detector hit: the pair, what it matched, and the applied weight.
+struct FlaggedPair {
+  reputation::NodeId rater = 0;
+  reputation::NodeId ratee = 0;
+  Behavior behavior = Behavior::kNone;
+  double weight = 1.0;
+};
+
+/// Diagnostics for one update interval (inspection + tests + benches).
+struct AdjustmentReport {
+  std::size_t pairs_total = 0;       ///< active rating pairs this interval
+  std::size_t pairs_flagged = 0;     ///< pairs matching any of B1-B4
+  std::size_t ratings_adjusted = 0;  ///< individual ratings rescaled
+  std::size_t b1 = 0, b2 = 0, b3 = 0, b4 = 0;  ///< per-behaviour pair counts
+  double mean_weight = 1.0;  ///< mean Gaussian weight over adjusted ratings
+  std::vector<FlaggedPair> flagged;  ///< every detector hit this interval
+};
+
+class SocialTrustPlugin final : public reputation::ReputationSystem {
+ public:
+  /// Wraps `inner`. The social graph and interest profiles are shared,
+  /// caller-owned state (the simulator mutates them as peers interact);
+  /// the plugin only reads them.
+  SocialTrustPlugin(std::unique_ptr<reputation::ReputationSystem> inner,
+                    const graph::SocialGraph& graph,
+                    const InterestProfiles& profiles,
+                    SocialTrustConfig config = {});
+
+  std::string_view name() const noexcept override { return name_; }
+  std::size_t size() const noexcept override { return inner_->size(); }
+  void update(std::span<const reputation::Rating> cycle_ratings) override;
+  double reputation(reputation::NodeId node) const override {
+    return inner_->reputation(node);
+  }
+  std::span<const double> reputations() const noexcept override {
+    return inner_->reputations();
+  }
+  void reset() override;
+  void forget_node(reputation::NodeId node) override;
+
+  const AdjustmentReport& last_report() const noexcept { return report_; }
+  const SocialTrustConfig& config() const noexcept { return config_; }
+  reputation::ReputationSystem& inner() noexcept { return *inner_; }
+
+  /// The adjusted rating stream of the last update (tests/diagnostics).
+  std::span<const reputation::Rating> last_adjusted() const noexcept {
+    return adjusted_;
+  }
+
+ private:
+  struct PairTally {
+    double positive = 0.0;
+    double negative = 0.0;
+    std::vector<std::size_t> rating_indices;  // into the interval's stream
+  };
+  using PairMap = std::unordered_map<reputation::PairKey, PairTally,
+                                     reputation::PairKeyHash>;
+
+  /// Multiset aggregate supporting O(1) leave-one-out statistics: tracking
+  /// the two smallest and two largest values lets us remove any single
+  /// value and still know the min/max of the rest. The paper centres each
+  /// rater's Gaussian on its closeness/similarity "to *other* nodes it has
+  /// rated" (Section 4.1), i.e. excluding the pair under evaluation —
+  /// without the exclusion a lone extreme pair would stretch the width
+  /// |max - min| around itself and cap its own attenuation at exp(-1/2).
+  struct LooAggregate {
+    std::size_t n = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    double min1 = 0.0, min2 = 0.0;  // smallest, second smallest
+    double max1 = 0.0, max2 = 0.0;  // largest, second largest
+
+    void add(double v) noexcept;
+    /// Stats of the multiset with one instance of `v` removed. Returns
+    /// false when nothing remains (caller falls back to system stats).
+    bool without(double v, CoefficientStats& out) const noexcept;
+    /// Stats of the full multiset.
+    CoefficientStats full() const noexcept;
+  };
+
+  double closeness_cached(reputation::NodeId i, reputation::NodeId j);
+  double similarity_of(reputation::NodeId i, reputation::NodeId j) const;
+  LooAggregate aggregate_over(reputation::NodeId rater,
+                              const std::vector<reputation::NodeId>& ratees,
+                              bool closeness);
+
+  std::unique_ptr<reputation::ReputationSystem> inner_;
+  const graph::SocialGraph& graph_;
+  const InterestProfiles& profiles_;
+  SocialTrustConfig config_;
+  ClosenessModel closeness_model_;
+  BehaviorDetector detector_;
+  std::string name_;
+
+  /// Cumulative per-rater rated sets (sorted); the population over which
+  /// the per-rater Gaussian statistics are computed.
+  std::vector<std::vector<reputation::NodeId>> rated_history_;
+
+  // Per-update scratch (cleared each call).
+  std::unordered_map<std::uint64_t, double> closeness_cache_;
+  std::vector<reputation::Rating> adjusted_;
+  AdjustmentReport report_;
+};
+
+}  // namespace st::core

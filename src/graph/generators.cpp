@@ -1,0 +1,87 @@
+#include "graph/generators.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace st::graph {
+
+SocialGraph erdos_renyi(std::size_t n, double p, stats::Rng& rng) {
+  SocialGraph g(n);
+  if (p <= 0.0 || n < 2) return g;
+  for (std::size_t a = 0; a + 1 < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (rng.bernoulli(p)) {
+        g.add_relationship(static_cast<NodeId>(a), static_cast<NodeId>(b),
+                           Relationship::kFriendship);
+      }
+    }
+  }
+  return g;
+}
+
+SocialGraph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                           stats::Rng& rng) {
+  if (k % 2 != 0) throw std::invalid_argument("watts_strogatz: k must be even");
+  if (k >= n) throw std::invalid_argument("watts_strogatz: k must be < n");
+  SocialGraph g(n);
+  // Ring lattice.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      auto b = static_cast<NodeId>((a + j) % n);
+      g.add_relationship(static_cast<NodeId>(a), b,
+                         Relationship::kFriendship);
+    }
+  }
+  // Rewire each lattice edge (a, a+j) with probability beta.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      if (!rng.bernoulli(beta)) continue;
+      auto old = static_cast<NodeId>((a + j) % n);
+      auto self = static_cast<NodeId>(a);
+      // Pick a fresh endpoint, avoiding self-loops and duplicates.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        auto candidate = static_cast<NodeId>(rng.index(n));
+        if (candidate == self || g.adjacent(self, candidate)) continue;
+        g.remove_relationship(self, old, Relationship::kFriendship);
+        g.add_relationship(self, candidate, Relationship::kFriendship);
+        break;
+      }
+    }
+  }
+  return g;
+}
+
+SocialGraph barabasi_albert(std::size_t n, std::size_t m, stats::Rng& rng) {
+  if (m == 0 || n <= m)
+    throw std::invalid_argument("barabasi_albert: require n > m >= 1");
+  SocialGraph g(n);
+  // `targets` holds one entry per half-edge so uniform sampling from it is
+  // degree-proportional sampling.
+  std::vector<NodeId> targets;
+  targets.reserve(2 * n * m);
+  // Seed clique over the first m+1 nodes.
+  for (std::size_t a = 0; a <= m; ++a) {
+    for (std::size_t b = a + 1; b <= m; ++b) {
+      g.add_relationship(static_cast<NodeId>(a), static_cast<NodeId>(b),
+                         Relationship::kFriendship);
+      targets.push_back(static_cast<NodeId>(a));
+      targets.push_back(static_cast<NodeId>(b));
+    }
+  }
+  for (std::size_t node = m + 1; node < n; ++node) {
+    auto self = static_cast<NodeId>(node);
+    std::size_t attached = 0;
+    std::size_t guard = 0;
+    while (attached < m && guard++ < 64 * m) {
+      NodeId pick = targets[rng.index(targets.size())];
+      if (pick == self || g.adjacent(self, pick)) continue;
+      g.add_relationship(self, pick, Relationship::kFriendship);
+      targets.push_back(self);
+      targets.push_back(pick);
+      ++attached;
+    }
+  }
+  return g;
+}
+
+}  // namespace st::graph

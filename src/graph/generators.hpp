@@ -1,0 +1,33 @@
+#pragma once
+// Random social-network generators.
+//
+// The synthetic Overstock trace (Section 3 substitution, see DESIGN.md)
+// needs a personal network with realistic degree structure; the P2P
+// experiments (Section 5.1) need a simpler random relationship assignment.
+// Three standard models cover both uses:
+//   * Erdős–Rényi        — baseline random graph,
+//   * Watts–Strogatz     — high clustering + short paths (friend circles),
+//   * Barabási–Albert    — power-law degree (a few social hubs).
+
+#include <cstddef>
+
+#include "graph/social_graph.hpp"
+#include "stats/rng.hpp"
+
+namespace st::graph {
+
+/// G(n, p): every pair linked independently with probability p
+/// (friendship relationship).
+SocialGraph erdos_renyi(std::size_t n, double p, stats::Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with k nearest neighbours per
+/// node (k even), each edge rewired with probability beta.
+SocialGraph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                           stats::Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches m edges
+/// to existing nodes with probability proportional to degree.
+/// Precondition: n > m >= 1.
+SocialGraph barabasi_albert(std::size_t n, std::size_t m, stats::Rng& rng);
+
+}  // namespace st::graph

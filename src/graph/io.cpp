@@ -1,0 +1,108 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace st::graph {
+
+std::string relationship_name(Relationship r) {
+  switch (r) {
+    case Relationship::kFriendship:
+      return "friendship";
+    case Relationship::kColleague:
+      return "colleague";
+    case Relationship::kClassmate:
+      return "classmate";
+    case Relationship::kNeighbor:
+      return "neighbor";
+    case Relationship::kKinship:
+      return "kinship";
+    case Relationship::kBusiness:
+      return "business";
+  }
+  return "unknown";
+}
+
+void write_dot(std::ostream& out, const SocialGraph& graph,
+               std::span<const NodeId> highlight) {
+  std::unordered_set<NodeId> marked(highlight.begin(), highlight.end());
+  out << "graph social {\n  node [shape=circle, fontsize=9];\n";
+  for (NodeId v = 0; v < graph.size(); ++v) {
+    out << "  n" << v;
+    if (marked.count(v)) {
+      out << " [style=filled, fillcolor=red]";
+    }
+    out << ";\n";
+  }
+  for (NodeId a = 0; a < graph.size(); ++a) {
+    for (NodeId b : graph.neighbors(a)) {
+      if (b <= a) continue;  // each undirected edge once
+      out << "  n" << a << " -- n" << b << " [label=\""
+          << graph.relationship_count(a, b) << "\"];\n";
+    }
+  }
+  out << "}\n";
+}
+
+void write_edge_list(std::ostream& out, const SocialGraph& graph) {
+  out << "socialgraph " << graph.size() << "\n";
+  for (NodeId a = 0; a < graph.size(); ++a) {
+    for (NodeId b : graph.neighbors(a)) {
+      if (b <= a) continue;
+      unsigned mask = 0;
+      for (Relationship r : graph.relationships(a, b)) {
+        mask |= 1U << static_cast<unsigned>(r);
+      }
+      out << "e " << a << " " << b << " " << mask << "\n";
+    }
+  }
+  for (NodeId from = 0; from < graph.size(); ++from) {
+    for (NodeId to = 0; to < graph.size(); ++to) {
+      double count = graph.interaction(from, to);
+      if (count > 0.0) {
+        out << "i " << from << " " << to << " " << count << "\n";
+      }
+    }
+  }
+}
+
+SocialGraph read_edge_list(std::istream& in) {
+  std::string tag;
+  std::size_t node_count = 0;
+  if (!(in >> tag >> node_count) || tag != "socialgraph") {
+    throw std::runtime_error("read_edge_list: missing socialgraph header");
+  }
+  SocialGraph graph(node_count);
+  std::string kind;
+  while (in >> kind) {
+    if (kind == "e") {
+      NodeId a = 0, b = 0;
+      unsigned mask = 0;
+      if (!(in >> a >> b >> mask)) {
+        throw std::runtime_error("read_edge_list: malformed edge line");
+      }
+      for (std::size_t r = 0; r < kRelationshipCount; ++r) {
+        if (mask & (1U << r)) {
+          graph.add_relationship(a, b, static_cast<Relationship>(r));
+        }
+      }
+    } else if (kind == "i") {
+      NodeId from = 0, to = 0;
+      double count = 0.0;
+      if (!(in >> from >> to >> count)) {
+        throw std::runtime_error(
+            "read_edge_list: malformed interaction line");
+      }
+      graph.record_interaction(from, to, count);
+    } else {
+      throw std::runtime_error("read_edge_list: unknown record '" + kind +
+                               "'");
+    }
+  }
+  return graph;
+}
+
+}  // namespace st::graph

@@ -1,0 +1,32 @@
+#pragma once
+// Social-graph serialisation: Graphviz DOT for visual inspection and a
+// line-based edge-list format (with relationship types and interaction
+// counts) for round-tripping graphs through files.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/social_graph.hpp"
+
+namespace st::graph {
+
+/// Writes the graph as Graphviz DOT (undirected edges labelled with their
+/// relationship-type count). `highlight` nodes are filled red — handy for
+/// marking colluders in attack visualisations.
+void write_dot(std::ostream& out, const SocialGraph& graph,
+               std::span<const NodeId> highlight = {});
+
+/// Writes the graph as a plain-text edge list:
+///   header:       socialgraph <node_count>
+///   edge lines:   e <a> <b> <relationship-mask>
+///   interactions: i <from> <to> <count>
+void write_edge_list(std::ostream& out, const SocialGraph& graph);
+
+/// Parses the write_edge_list format. Throws std::runtime_error on
+/// malformed input.
+SocialGraph read_edge_list(std::istream& in);
+
+/// Human-readable relationship name ("friendship", "kinship", ...).
+std::string relationship_name(Relationship r);
+
+}  // namespace st::graph

@@ -1,0 +1,269 @@
+#include "graph/social_graph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+#include <stdexcept>
+
+namespace st::graph {
+
+double default_relationship_weight(Relationship r) noexcept {
+  switch (r) {
+    case Relationship::kFriendship:
+      return 1.0;
+    case Relationship::kColleague:
+      return 1.2;
+    case Relationship::kClassmate:
+      return 1.2;
+    case Relationship::kNeighbor:
+      return 1.1;
+    case Relationship::kKinship:
+      return 2.0;
+    case Relationship::kBusiness:
+      return 0.8;
+  }
+  return 1.0;
+}
+
+SocialGraph::SocialGraph(std::size_t node_count)
+    : adjacency_(node_count),
+      neighbor_ids_(node_count),
+      interactions_(node_count),
+      interaction_totals_(node_count, 0.0) {}
+
+void SocialGraph::check_node(NodeId a) const {
+  if (a >= adjacency_.size())
+    throw std::out_of_range("SocialGraph: node id out of range");
+}
+
+const SocialGraph::EdgeRecord* SocialGraph::find_edge(
+    NodeId a, NodeId b) const noexcept {
+  const auto& edges = adjacency_[a];
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), b,
+      [](const EdgeRecord& e, NodeId id) { return e.to < id; });
+  return (it != edges.end() && it->to == b) ? &*it : nullptr;
+}
+
+SocialGraph::EdgeRecord* SocialGraph::find_edge(NodeId a, NodeId b) noexcept {
+  return const_cast<EdgeRecord*>(
+      static_cast<const SocialGraph*>(this)->find_edge(a, b));
+}
+
+bool SocialGraph::add_relationship(NodeId a, NodeId b, Relationship r) {
+  check_node(a);
+  check_node(b);
+  if (a == b) return false;
+  auto mask = static_cast<std::uint8_t>(1U << static_cast<unsigned>(r));
+  auto insert_half = [&](NodeId from, NodeId to) {
+    auto& edges = adjacency_[from];
+    auto it = std::lower_bound(
+        edges.begin(), edges.end(), to,
+        [](const EdgeRecord& e, NodeId id) { return e.to < id; });
+    if (it != edges.end() && it->to == to) {
+      if (it->relationship_mask & mask) return false;
+      it->relationship_mask |= mask;
+      return true;
+    }
+    edges.insert(it, EdgeRecord{to, mask});
+    auto& ids = neighbor_ids_[from];
+    ids.insert(std::lower_bound(ids.begin(), ids.end(), to), to);
+    return true;
+  };
+  bool added = insert_half(a, b);
+  insert_half(b, a);
+  return added;
+}
+
+bool SocialGraph::remove_relationship(NodeId a, NodeId b, Relationship r) {
+  check_node(a);
+  check_node(b);
+  auto mask = static_cast<std::uint8_t>(1U << static_cast<unsigned>(r));
+  auto remove_half = [&](NodeId from, NodeId to) {
+    EdgeRecord* e = find_edge(from, to);
+    if (!e || !(e->relationship_mask & mask)) return false;
+    e->relationship_mask &= static_cast<std::uint8_t>(~mask);
+    if (e->relationship_mask == 0) {
+      auto& edges = adjacency_[from];
+      edges.erase(edges.begin() + (e - edges.data()));
+      auto& ids = neighbor_ids_[from];
+      ids.erase(std::lower_bound(ids.begin(), ids.end(), to));
+    }
+    return true;
+  };
+  bool removed = remove_half(a, b);
+  remove_half(b, a);
+  return removed;
+}
+
+bool SocialGraph::adjacent(NodeId a, NodeId b) const noexcept {
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return false;
+  return find_edge(a, b) != nullptr;
+}
+
+std::size_t SocialGraph::relationship_count(NodeId a,
+                                            NodeId b) const noexcept {
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return 0;
+  const EdgeRecord* e = find_edge(a, b);
+  return e ? static_cast<std::size_t>(std::popcount(e->relationship_mask))
+           : 0;
+}
+
+std::vector<Relationship> SocialGraph::relationships(NodeId a,
+                                                     NodeId b) const {
+  std::vector<Relationship> result;
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return result;
+  const EdgeRecord* e = find_edge(a, b);
+  if (!e) return result;
+  for (std::size_t i = 0; i < kRelationshipCount; ++i) {
+    if (e->relationship_mask & (1U << i))
+      result.push_back(static_cast<Relationship>(i));
+  }
+  return result;
+}
+
+std::span<const NodeId> SocialGraph::neighbors(NodeId a) const noexcept {
+  if (a >= neighbor_ids_.size()) return {};
+  return neighbor_ids_[a];
+}
+
+std::size_t SocialGraph::degree(NodeId a) const noexcept {
+  return a < adjacency_.size() ? adjacency_[a].size() : 0;
+}
+
+void SocialGraph::record_interaction(NodeId from, NodeId to, double count) {
+  check_node(from);
+  check_node(to);
+  if (from == to || count <= 0.0) return;
+  auto& row = interactions_[from];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const std::pair<NodeId, double>& p, NodeId id) {
+        return p.first < id;
+      });
+  if (it != row.end() && it->first == to) {
+    it->second += count;
+  } else {
+    row.insert(it, {to, count});
+  }
+  interaction_totals_[from] += count;
+}
+
+double SocialGraph::interaction(NodeId from, NodeId to) const noexcept {
+  if (from >= interactions_.size()) return 0.0;
+  const auto& row = interactions_[from];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const std::pair<NodeId, double>& p, NodeId id) {
+        return p.first < id;
+      });
+  return (it != row.end() && it->first == to) ? it->second : 0.0;
+}
+
+double SocialGraph::total_interactions(NodeId from) const noexcept {
+  return from < interaction_totals_.size() ? interaction_totals_[from] : 0.0;
+}
+
+std::vector<NodeId> SocialGraph::common_friends(NodeId a, NodeId b) const {
+  std::vector<NodeId> result;
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return result;
+  const auto& na = neighbor_ids_[a];
+  const auto& nb = neighbor_ids_[b];
+  std::set_intersection(na.begin(), na.end(), nb.begin(), nb.end(),
+                        std::back_inserter(result));
+  // a and b themselves are not "common friends" even if the graph contains
+  // a triangle through them.
+  std::erase(result, a);
+  std::erase(result, b);
+  return result;
+}
+
+std::optional<std::size_t> SocialGraph::distance(
+    NodeId a, NodeId b, std::size_t max_hops) const {
+  check_node(a);
+  check_node(b);
+  if (a == b) return 0;
+  // Plain BFS with a hop cap; the paper only ever needs distances <= 4.
+  std::vector<std::uint8_t> visited(adjacency_.size(), 0);
+  std::queue<std::pair<NodeId, std::size_t>> frontier;
+  frontier.push({a, 0});
+  visited[a] = 1;
+  while (!frontier.empty()) {
+    auto [node, hops] = frontier.front();
+    frontier.pop();
+    if (hops >= max_hops) continue;
+    for (NodeId next : neighbor_ids_[node]) {
+      if (visited[next]) continue;
+      if (next == b) return hops + 1;
+      visited[next] = 1;
+      frontier.push({next, hops + 1});
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<NodeId>> SocialGraph::shortest_path(
+    NodeId a, NodeId b, std::size_t max_hops) const {
+  check_node(a);
+  check_node(b);
+  if (a == b) return std::vector<NodeId>{a};
+  constexpr NodeId kUnset = static_cast<NodeId>(-1);
+  std::vector<NodeId> parent(adjacency_.size(), kUnset);
+  std::queue<std::pair<NodeId, std::size_t>> frontier;
+  frontier.push({a, 0});
+  parent[a] = a;
+  while (!frontier.empty()) {
+    auto [node, hops] = frontier.front();
+    frontier.pop();
+    if (hops >= max_hops) continue;
+    for (NodeId next : neighbor_ids_[node]) {
+      if (parent[next] != kUnset) continue;
+      parent[next] = node;
+      if (next == b) {
+        std::vector<NodeId> path{b};
+        for (NodeId cur = b; cur != a; cur = parent[cur])
+          path.push_back(parent[cur]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push({next, hops + 1});
+    }
+  }
+  return std::nullopt;
+}
+
+void SocialGraph::clear_node(NodeId node) {
+  check_node(node);
+  // Drop all relationships (removing from both endpoints).
+  std::vector<NodeId> friends(neighbor_ids_[node].begin(),
+                              neighbor_ids_[node].end());
+  for (NodeId other : friends) {
+    for (std::size_t r = 0; r < kRelationshipCount; ++r) {
+      remove_relationship(node, other, static_cast<Relationship>(r));
+    }
+  }
+  // Drop outgoing interactions.
+  interactions_[node].clear();
+  interaction_totals_[node] = 0.0;
+  // Drop incoming interactions.
+  for (NodeId from = 0; from < interactions_.size(); ++from) {
+    auto& row = interactions_[from];
+    auto it = std::lower_bound(
+        row.begin(), row.end(), node,
+        [](const std::pair<NodeId, double>& p, NodeId id) {
+          return p.first < id;
+        });
+    if (it != row.end() && it->first == node) {
+      interaction_totals_[from] -= it->second;
+      row.erase(it);
+    }
+  }
+}
+
+std::size_t SocialGraph::edge_count() const noexcept {
+  std::size_t half_edges = 0;
+  for (const auto& edges : adjacency_) half_edges += edges.size();
+  return half_edges / 2;
+}
+
+}  // namespace st::graph

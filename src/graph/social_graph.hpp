@@ -1,0 +1,131 @@
+#pragma once
+// Social-network substrate.
+//
+// SocialTrust reads four things off the social network (paper Sections 3-4):
+//   1. adjacency + the *set of typed relationships* on each edge
+//      (Eq. 2 counts them, Eq. 10 weights them by type),
+//   2. directed interaction frequencies f(i,j) (resource-request counts),
+//   3. common-friend sets (friend-of-friend closeness, Eq. 3),
+//   4. shortest social distance in hops (suspicious-behaviour B1, Fig. 3).
+// SocialGraph stores exactly that, nothing more: it is the "personal
+// network" of the Overstock analysis, decoupled from the P2P overlay.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace st::graph {
+
+using NodeId = std::uint32_t;
+
+/// Typed social relationships. The hardened closeness metric (Eq. 10)
+/// weights relationship types unequally — e.g. kinship counts for more
+/// than an online friendship.
+enum class Relationship : std::uint8_t {
+  kFriendship = 0,
+  kColleague,
+  kClassmate,
+  kNeighbor,
+  kKinship,
+  kBusiness,
+};
+
+inline constexpr std::size_t kRelationshipCount = 6;
+
+/// Default per-type weights used by Eq. (10). Kinship is strongest; a plain
+/// online friendship is the baseline (1.0). Callers may supply their own.
+double default_relationship_weight(Relationship r) noexcept;
+
+/// Undirected multigraph over a fixed node set with typed parallel edges
+/// and directed interaction counters.
+///
+/// Node ids are dense indices [0, size()). The node count is fixed at
+/// construction — reputation experiments run on closed populations — but
+/// relationships and interactions mutate freely.
+class SocialGraph {
+ public:
+  explicit SocialGraph(std::size_t node_count);
+
+  std::size_t size() const noexcept { return adjacency_.size(); }
+
+  /// Adds a typed relationship between a and b (undirected). Parallel
+  /// relationships of distinct types accumulate on the same edge; adding a
+  /// duplicate type is a no-op. Self-relationships are rejected (returns
+  /// false), matching the paper's model where closeness is pairwise.
+  bool add_relationship(NodeId a, NodeId b, Relationship r);
+
+  /// Removes one relationship type; returns true if it existed. The edge
+  /// disappears once its last relationship is removed.
+  bool remove_relationship(NodeId a, NodeId b, Relationship r);
+
+  bool adjacent(NodeId a, NodeId b) const noexcept;
+
+  /// Number of distinct relationship types on edge (a,b) — the m(i,j)
+  /// of Eq. (2). Zero when not adjacent.
+  std::size_t relationship_count(NodeId a, NodeId b) const noexcept;
+
+  /// The relationship types on edge (a,b), unspecified order.
+  std::vector<Relationship> relationships(NodeId a, NodeId b) const;
+
+  /// Neighbour ids of `a` (ascending order).
+  std::span<const NodeId> neighbors(NodeId a) const noexcept;
+
+  std::size_t degree(NodeId a) const noexcept;
+
+  /// Records `count` interactions from `from` to `to` — in the P2P mapping,
+  /// "an interaction is an action that a peer requests a resource from
+  /// another peer" (Section 4.1). Interactions are directed and need not be
+  /// between adjacent nodes.
+  void record_interaction(NodeId from, NodeId to, double count = 1.0);
+
+  /// Directed interaction count f(i,j).
+  double interaction(NodeId from, NodeId to) const noexcept;
+
+  /// Sum of f(i, *) over everyone `from` interacted with — the denominator
+  /// of Eq. (2).
+  double total_interactions(NodeId from) const noexcept;
+
+  /// Nodes appearing in both neighbour lists (the k of Eq. 3), ascending.
+  std::vector<NodeId> common_friends(NodeId a, NodeId b) const;
+
+  /// BFS hop distance between a and b, searching at most `max_hops` hops.
+  /// Returns nullopt when unreachable within the cap. distance(a,a) == 0.
+  std::optional<std::size_t> distance(NodeId a, NodeId b,
+                                      std::size_t max_hops = 6) const;
+
+  /// One shortest path a -> ... -> b within `max_hops` (inclusive of both
+  /// endpoints), or nullopt. Used by the bottleneck-closeness fallback of
+  /// Eq. (4).
+  std::optional<std::vector<NodeId>> shortest_path(
+      NodeId a, NodeId b, std::size_t max_hops = 6) const;
+
+  /// Total number of undirected edges (distinct adjacent pairs).
+  std::size_t edge_count() const noexcept;
+
+  /// Erases every trace of `node` from the graph — all its relationships
+  /// and all interactions to and from it — as when a peer discards its
+  /// identity (whitewashing). The node id itself remains valid (the node
+  /// set is fixed) but is socially blank afterwards.
+  void clear_node(NodeId node);
+
+ private:
+  struct EdgeRecord {
+    NodeId to;
+    std::uint8_t relationship_mask;  // bit i set <=> Relationship(i) present
+  };
+
+  const EdgeRecord* find_edge(NodeId a, NodeId b) const noexcept;
+  EdgeRecord* find_edge(NodeId a, NodeId b) noexcept;
+  void check_node(NodeId a) const;
+
+  // adjacency_[a] sorted by `to`; neighbor_ids_[a] mirrors the `to` fields
+  // so neighbors() can return a span without allocation.
+  std::vector<std::vector<EdgeRecord>> adjacency_;
+  std::vector<std::vector<NodeId>> neighbor_ids_;
+  // interactions_[from] sorted by target id.
+  std::vector<std::vector<std::pair<NodeId, double>>> interactions_;
+  std::vector<double> interaction_totals_;
+};
+
+}  // namespace st::graph

@@ -1,0 +1,58 @@
+#pragma once
+// Beta reputation (Jøsang & Ismail, 2002) — a third baseline beyond the
+// paper's two. Each node's reputation is the expected value of a Beta
+// distribution over its positive/negative feedback:
+//     E = (p + 1) / (p + n + 2)
+// with p/n the accumulated positive/negative rating mass. Included because
+// it is the other canonical P2P reputation aggregate; the SocialTrust
+// plugin wraps it like any other system, which demonstrates the plugin's
+// system-agnosticism beyond the paper's own baselines.
+//
+// To stay comparable with the rest of the library, reputations() publishes
+// the Beta expectations normalised to sum to 1; beta_expectation() exposes
+// the raw [0, 1] value.
+
+#include <string_view>
+#include <vector>
+
+#include "reputation/reputation_system.hpp"
+
+namespace st::reputation {
+
+struct BetaReputationConfig {
+  /// Exponential forgetting applied to the accumulated evidence at each
+  /// update interval (1 = never forget; the original paper suggests
+  /// discounting stale feedback).
+  double forgetting = 1.0;
+};
+
+class BetaReputation final : public ReputationSystem {
+ public:
+  explicit BetaReputation(std::size_t node_count,
+                          BetaReputationConfig config = {});
+
+  std::string_view name() const noexcept override { return "Beta"; }
+  std::size_t size() const noexcept override { return positive_.size(); }
+  void update(std::span<const Rating> cycle_ratings) override;
+  double reputation(NodeId node) const override;
+  std::span<const double> reputations() const noexcept override {
+    return normalized_;
+  }
+  void reset() override;
+  void forget_node(NodeId node) override;
+
+  /// Raw Beta expectation E = (p+1)/(p+n+2) in [0, 1].
+  double beta_expectation(NodeId node) const;
+  double positive_mass(NodeId node) const;
+  double negative_mass(NodeId node) const;
+
+ private:
+  void renormalize();
+
+  BetaReputationConfig config_;
+  std::vector<double> positive_;
+  std::vector<double> negative_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace st::reputation

@@ -1,0 +1,72 @@
+#pragma once
+// EigenTrust (Kamvar, Schlosser, Garcia-Molina, WWW 2003) — the paper's
+// primary baseline (Section 5, [10]).
+//
+// Local trust: s_ij accumulates rating values from i about j across all
+// cycles; c_ij = max(s_ij, 0) / sum_k max(s_ik, 0). Global trust is the
+// stationary vector of
+//     t <- (1 - a) * C^T t + a * p
+// where p is uniform over the pretrusted peers and `a` is the pretrusted
+// weight (the paper sets a = 0.5). Power iteration runs to a configurable
+// L1 tolerance.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "reputation/reputation_system.hpp"
+
+namespace st::reputation {
+
+struct EigenTrustConfig {
+  /// Weight `a` of the pretrusted distribution in the update rule.
+  /// Paper Section 5.1: "we set the weight of reputations from pretrusted
+  /// nodes in EigenTrust to 0.5".
+  double pretrusted_weight = 0.5;
+  /// Power-iteration stop: ||t_k+1 - t_k||_1 < epsilon.
+  double epsilon = 1e-10;
+  std::uint32_t max_iterations = 1000;
+};
+
+class EigenTrust final : public ReputationSystem {
+ public:
+  /// `pretrusted` lists the pretrusted peer ids (may be empty, in which
+  /// case p falls back to the uniform distribution over all nodes, as in
+  /// the original EigenTrust paper).
+  EigenTrust(std::size_t node_count, std::vector<NodeId> pretrusted,
+             EigenTrustConfig config = {});
+
+  std::string_view name() const noexcept override { return "EigenTrust"; }
+  std::size_t size() const noexcept override { return n_; }
+  void update(std::span<const Rating> cycle_ratings) override;
+  double reputation(NodeId node) const override;
+  std::span<const double> reputations() const noexcept override {
+    return global_;
+  }
+  void reset() override;
+  void forget_node(NodeId node) override;
+
+  /// Normalised local-trust entry c_ij (for tests/diagnostics).
+  double local_trust(NodeId i, NodeId j) const;
+
+  /// Raw accumulated s_ij before clamping/normalisation.
+  double raw_trust(NodeId i, NodeId j) const;
+
+  /// Iterations the last update() needed to converge.
+  std::uint32_t last_iterations() const noexcept { return last_iterations_; }
+
+  const EigenTrustConfig& config() const noexcept { return config_; }
+
+ private:
+  void recompute_global();
+
+  std::size_t n_;
+  std::vector<NodeId> pretrusted_;
+  EigenTrustConfig config_;
+  std::vector<double> s_;           // n x n accumulated local trust
+  std::vector<double> p_;           // teleport distribution
+  std::vector<double> global_;      // current global trust vector
+  std::uint32_t last_iterations_ = 0;
+};
+
+}  // namespace st::reputation

@@ -1,0 +1,45 @@
+#include "reputation/ledger.hpp"
+
+namespace st::reputation {
+
+void RatingLedger::record(const Rating& rating) {
+  Rating r = rating;
+  r.cycle = cycle_;
+  open_.push_back(r);
+  ++total_;
+}
+
+std::uint32_t RatingLedger::close_cycle() {
+  last_ = std::move(open_);
+  open_.clear();
+  last_counts_.clear();
+  for (const Rating& r : last_) {
+    PairCounts& pc = last_counts_[PairKey{r.rater, r.ratee}];
+    if (r.value > 0.0) {
+      ++pc.positive;
+    } else if (r.value < 0.0) {
+      ++pc.negative;
+    }
+    pc.value_sum += r.value;
+  }
+  return cycle_++;
+}
+
+double RatingLedger::average_pair_frequency() const noexcept {
+  if (last_counts_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& [key, counts] : last_counts_) {
+    total += counts.positive + counts.negative;
+  }
+  return total / static_cast<double>(last_counts_.size());
+}
+
+void RatingLedger::clear() {
+  open_.clear();
+  last_.clear();
+  last_counts_.clear();
+  cycle_ = 0;
+  total_ = 0;
+}
+
+}  // namespace st::reputation

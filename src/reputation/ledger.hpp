@@ -1,0 +1,82 @@
+#pragma once
+// Rating ledger: the per-cycle event store feeding reputation updates.
+//
+// The paper's resource managers "keep track of the rating frequencies and
+// values of other nodes for the nodes [they] manage" (Section 4.3); the
+// ledger is that record, centralised here and sliced per manager by
+// st::core::ResourceManager. It answers the two queries SocialTrust's
+// detector needs: per-pair positive/negative counts within the current
+// update interval (t+ / t-), and the system-wide average rating frequency F.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "reputation/rating.hpp"
+
+namespace st::reputation {
+
+/// Directed rater->ratee pair key.
+struct PairKey {
+  NodeId rater;
+  NodeId ratee;
+  bool operator==(const PairKey&) const = default;
+};
+
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& k) const noexcept {
+    return (static_cast<std::size_t>(k.rater) << 32U) ^ k.ratee;
+  }
+};
+
+/// Per-pair tallies within one update interval.
+struct PairCounts {
+  std::uint32_t positive = 0;  ///< t+(i,j): ratings with value > 0
+  std::uint32_t negative = 0;  ///< t-(i,j): ratings with value < 0
+  double value_sum = 0.0;      ///< sum of raw values
+};
+
+class RatingLedger {
+ public:
+  /// Appends a rating to the current (open) cycle.
+  void record(const Rating& rating);
+
+  /// Closes the current cycle: the buffered ratings become the last
+  /// completed cycle, retrievable via last_cycle(), and a new empty cycle
+  /// opens. Returns the index of the cycle just closed.
+  std::uint32_t close_cycle();
+
+  /// Ratings of the most recently closed cycle (empty before first close).
+  std::span<const Rating> last_cycle() const noexcept { return last_; }
+
+  /// Ratings buffered in the currently open cycle.
+  std::span<const Rating> open_cycle() const noexcept { return open_; }
+
+  std::uint32_t current_cycle() const noexcept { return cycle_; }
+
+  /// Per-pair tallies over the most recently closed cycle.
+  const std::unordered_map<PairKey, PairCounts, PairKeyHash>& last_counts()
+      const noexcept {
+    return last_counts_;
+  }
+
+  /// Mean number of ratings per *active* directed pair in the last closed
+  /// cycle — the empirical F of Section 4.1 that the frequency threshold
+  /// theta*F scales. Zero when the cycle had no ratings.
+  double average_pair_frequency() const noexcept;
+
+  /// Lifetime number of ratings recorded.
+  std::uint64_t total_ratings() const noexcept { return total_; }
+
+  void clear();
+
+ private:
+  std::vector<Rating> open_;
+  std::vector<Rating> last_;
+  std::unordered_map<PairKey, PairCounts, PairKeyHash> last_counts_;
+  std::uint32_t cycle_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace st::reputation

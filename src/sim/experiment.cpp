@@ -1,0 +1,77 @@
+#include "sim/experiment.hpp"
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace st::sim {
+
+namespace {
+
+RunResult run_one(const ExperimentConfig& config,
+                  const SystemFactory& system_factory,
+                  const StrategyFactory& strategy_factory,
+                  std::size_t run_index) {
+  // Derive a run-unique seed stream from the base seed.
+  stats::Rng seeder(config.base_seed);
+  stats::Rng run_rng = seeder.split(run_index);
+  std::uint64_t run_seed = run_rng.next_u64();
+
+  std::unique_ptr<CollusionStrategy> strategy;
+  if (strategy_factory) strategy = strategy_factory();
+  Simulator sim(config.sim, system_factory, std::move(strategy), run_seed);
+  return sim.run();
+}
+
+}  // namespace
+
+AggregateResult run_experiment(const ExperimentConfig& config,
+                               const SystemFactory& system_factory,
+                               const StrategyFactory& strategy_factory,
+                               util::ThreadPool* pool) {
+  if (config.runs == 0)
+    throw std::invalid_argument("run_experiment: runs must be > 0");
+
+  std::vector<RunResult> results(config.runs);
+  if (pool && pool->thread_count() > 1) {
+    pool->parallel_for(config.runs, [&](std::size_t i) {
+      results[i] = run_one(config, system_factory, strategy_factory, i);
+    });
+  } else {
+    for (std::size_t i = 0; i < config.runs; ++i) {
+      results[i] = run_one(config, system_factory, strategy_factory, i);
+    }
+  }
+
+  AggregateResult agg;
+  const std::size_t n = config.sim.node_count;
+  std::vector<stats::Accumulator> per_node(n);
+
+  for (const RunResult& r : results) {
+    for (std::size_t v = 0; v < n && v < r.final_reputation.size(); ++v) {
+      per_node[v].add(r.final_reputation[v]);
+    }
+    agg.colluder_share.add(r.colluder_request_share());
+    agg.inauthentic_share.add(r.inauthentic_share());
+    for (std::uint32_t c : r.colluder_convergence_cycle) {
+      agg.pooled_convergence_cycles.push_back(static_cast<double>(c));
+    }
+    if (!r.pretrusted_mean_by_cycle.empty())
+      agg.pretrusted_mean.add(r.pretrusted_mean_by_cycle.back());
+    if (!r.normal_mean_by_cycle.empty())
+      agg.normal_mean.add(r.normal_mean_by_cycle.back());
+    if (!r.colluder_mean_by_cycle.empty())
+      agg.colluder_mean.add(r.colluder_mean_by_cycle.back());
+  }
+
+  agg.mean_final_reputation.resize(n);
+  agg.ci_final_reputation.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    agg.mean_final_reputation[v] = per_node[v].mean();
+    agg.ci_final_reputation[v] = stats::confidence_interval95(per_node[v]);
+  }
+  agg.per_run = std::move(results);
+  return agg;
+}
+
+}  // namespace st::sim

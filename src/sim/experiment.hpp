@@ -1,0 +1,66 @@
+#pragma once
+// Multi-run experiment harness.
+//
+// "Each experiment is run 5 times, and the average of the results is the
+// final result. The 95% of the confidential interval is reported."
+// (Section 5.1). run_experiment fans the repetitions out over a thread
+// pool with independent RNG streams and aggregates.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+#include "util/thread_pool.hpp"
+
+namespace st::sim {
+
+/// Produces a fresh strategy per run (strategies are stateful). A null
+/// factory — or one returning nullptr — means "no collusion".
+using StrategyFactory = std::function<std::unique_ptr<CollusionStrategy>()>;
+
+struct ExperimentConfig {
+  SimConfig sim;
+  std::size_t runs = 5;
+  std::uint64_t base_seed = 42;
+};
+
+/// Aggregated results across runs.
+struct AggregateResult {
+  /// Per-node final reputation, averaged over runs, plus its 95% CI.
+  std::vector<double> mean_final_reputation;
+  std::vector<double> ci_final_reputation;
+
+  /// Fraction of requests served by colluders, across runs (Table 1).
+  stats::Accumulator colluder_share;
+  /// Fraction of services that were inauthentic.
+  stats::Accumulator inauthentic_share;
+
+  /// All colluder convergence cycles pooled over colluders x runs
+  /// (Fig. 19 reports 1st/99th percentile and median of these).
+  std::vector<double> pooled_convergence_cycles;
+
+  /// Final-cycle group means across runs.
+  stats::Accumulator pretrusted_mean;
+  stats::Accumulator normal_mean;
+  stats::Accumulator colluder_mean;
+
+  /// Raw per-run results (small; kept for figure-specific post-processing).
+  std::vector<RunResult> per_run;
+
+  /// Mean reputation of node `v` over runs.
+  double node_mean(std::size_t v) const { return mean_final_reputation.at(v); }
+};
+
+/// Runs `config.runs` independent simulations (seeds derived from
+/// base_seed) and aggregates. When `pool` is null the runs execute
+/// sequentially.
+AggregateResult run_experiment(const ExperimentConfig& config,
+                               const SystemFactory& system_factory,
+                               const StrategyFactory& strategy_factory,
+                               util::ThreadPool* pool = nullptr);
+
+}  // namespace st::sim

@@ -1,0 +1,57 @@
+#include "sim/factories.hpp"
+
+#include "core/resource_manager.hpp"
+#include "core/socialtrust.hpp"
+#include "reputation/ebay.hpp"
+
+namespace st::sim {
+
+SystemFactory make_eigentrust_factory(reputation::EigenTrustConfig config) {
+  return [config](const graph::SocialGraph&, const core::InterestProfiles&,
+                  const std::vector<NodeId>& pretrusted, std::size_t n) {
+    return std::make_unique<reputation::EigenTrust>(n, pretrusted, config);
+  };
+}
+
+SystemFactory make_paper_eigentrust_factory(
+    reputation::PaperEigenTrustConfig config) {
+  return [config](const graph::SocialGraph&, const core::InterestProfiles&,
+                  const std::vector<NodeId>& pretrusted, std::size_t n) {
+    return std::make_unique<reputation::PaperEigenTrust>(n, pretrusted,
+                                                         config);
+  };
+}
+
+SystemFactory make_ebay_factory() {
+  return [](const graph::SocialGraph&, const core::InterestProfiles&,
+            const std::vector<NodeId>&, std::size_t n) {
+    return std::make_unique<reputation::EbayReputation>(n);
+  };
+}
+
+SystemFactory make_socialtrust_factory(SystemFactory inner,
+                                       core::SocialTrustConfig config) {
+  return [inner = std::move(inner), config](
+             const graph::SocialGraph& graph,
+             const core::InterestProfiles& profiles,
+             const std::vector<NodeId>& pretrusted, std::size_t n) {
+    auto wrapped = inner(graph, profiles, pretrusted, n);
+    return std::make_unique<core::SocialTrustPlugin>(std::move(wrapped),
+                                                     graph, profiles, config);
+  };
+}
+
+SystemFactory make_distributed_socialtrust_factory(
+    SystemFactory inner, core::SocialTrustConfig config,
+    std::size_t manager_count) {
+  return [inner = std::move(inner), config, manager_count](
+             const graph::SocialGraph& graph,
+             const core::InterestProfiles& profiles,
+             const std::vector<NodeId>& pretrusted, std::size_t n) {
+    auto wrapped = inner(graph, profiles, pretrusted, n);
+    return std::make_unique<core::ResourceManagerNetwork>(
+        std::move(wrapped), graph, profiles, config, manager_count);
+  };
+}
+
+}  // namespace st::sim

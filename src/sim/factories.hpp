@@ -1,0 +1,38 @@
+#pragma once
+// Convenience SystemFactory builders for the systems the paper compares:
+// eBay, EigenTrust, and either wrapped in SocialTrust (centralised or
+// distributed). Benches compose these by name.
+
+#include <cstddef>
+
+#include "core/config.hpp"
+#include "reputation/eigentrust.hpp"
+#include "reputation/paper_eigentrust.hpp"
+#include "sim/simulator.hpp"
+
+namespace st::sim {
+
+/// Faithful Kamvar et al. EigenTrust (row-normalised power iteration).
+SystemFactory make_eigentrust_factory(
+    reputation::EigenTrustConfig config = {});
+
+/// The paper's EigenTrust variant (reputation-weighted cumulative rating
+/// aggregation; see reputation/paper_eigentrust.hpp). The figure benches
+/// use this one.
+SystemFactory make_paper_eigentrust_factory(
+    reputation::PaperEigenTrustConfig config = {});
+
+/// Plain eBay-style accumulative reputation.
+SystemFactory make_ebay_factory();
+
+/// Wraps the system produced by `inner` in a SocialTrustPlugin.
+SystemFactory make_socialtrust_factory(SystemFactory inner,
+                                       core::SocialTrustConfig config = {});
+
+/// Wraps the system produced by `inner` in the distributed
+/// resource-manager execution of SocialTrust.
+SystemFactory make_distributed_socialtrust_factory(
+    SystemFactory inner, core::SocialTrustConfig config,
+    std::size_t manager_count);
+
+}  // namespace st::sim

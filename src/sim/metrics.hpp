@@ -1,0 +1,64 @@
+#pragma once
+// Per-run measurement results — everything the evaluation figures and
+// Table 1 read off a simulation.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace st::sim {
+
+/// Outcome of one simulated run.
+struct RunResult {
+  /// Final normalised reputation per node (the y-axis of Figs. 7-18).
+  std::vector<double> final_reputation;
+
+  /// Per-cycle mean reputation of each population (pretrusted / normal /
+  /// colluder), indexed [cycle].
+  std::vector<double> pretrusted_mean_by_cycle;
+  std::vector<double> normal_mean_by_cycle;
+  std::vector<double> colluder_mean_by_cycle;
+
+  /// Final mean reputation of the boosted / boosting colluder subsets
+  /// (equal to the colluder mean under PCM, where every colluder is both).
+  double boosted_final_mean = 0.0;
+  double boosting_final_mean = 0.0;
+  /// Median final reputation of the normal population (the "typical"
+  /// normal node, robust to the reputation elite).
+  double normal_final_median = 0.0;
+
+  /// Per-colluder reputation trajectory, indexed [colluder][cycle]; feeds
+  /// the convergence percentiles of Fig. 19.
+  std::vector<std::vector<double>> colluder_history;
+
+  /// First simulation cycle at which each colluder's reputation dropped
+  /// (and stayed, for the remainder of the run) below the convergence
+  /// epsilon; simulation_cycles + 1 when it never did.
+  std::vector<std::uint32_t> colluder_convergence_cycle;
+
+  std::uint64_t total_requests = 0;
+  std::uint64_t requests_to_colluders = 0;    ///< served by colluder nodes
+  std::uint64_t requests_to_pretrusted = 0;
+  std::uint64_t authentic_services = 0;
+  std::uint64_t inauthentic_services = 0;
+  std::uint64_t fake_ratings = 0;             ///< ratings injected by attack
+
+  /// Fraction of requests served by colluders (Table 1's metric).
+  double colluder_request_share() const noexcept {
+    return total_requests == 0
+               ? 0.0
+               : static_cast<double>(requests_to_colluders) /
+                     static_cast<double>(total_requests);
+  }
+
+  /// Fraction of services that were inauthentic (service-quality view).
+  double inauthentic_share() const noexcept {
+    auto total = authentic_services + inauthentic_services;
+    return total == 0 ? 0.0
+                      : static_cast<double>(inauthentic_services) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace st::sim

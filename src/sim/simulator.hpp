@@ -1,0 +1,159 @@
+#pragma once
+// Discrete-cycle unstructured-P2P simulator — Section 5.1 of the paper.
+//
+// Time is organised as simulation cycles of `query_cycles_per_cycle` query
+// cycles. In each query cycle every active peer issues one resource request
+// in one of its interest categories (Zipf-popular), a server is selected
+// among interest neighbours with spare capacity and reputation above T_R
+// (falling back to a uniformly random capacitated neighbour when none
+// qualifies — the paper's "initial stage" behaviour), service authenticity
+// is Bernoulli per the server's node type, and the client rates +1/-1.
+// At the end of each simulation cycle the reputation system consumes the
+// cycle's ratings and republishes global reputations.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/similarity.hpp"
+#include "graph/social_graph.hpp"
+#include "reputation/ledger.hpp"
+#include "reputation/reputation_system.hpp"
+#include "sim/metrics.hpp"
+#include "sim/strategy.hpp"
+#include "sim/types.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace st::sim {
+
+/// Builds the reputation system under test once the network exists. The
+/// returned system may capture the graph/profiles references (SocialTrust
+/// plugins do); the simulator guarantees they outlive it.
+using SystemFactory =
+    std::function<std::unique_ptr<reputation::ReputationSystem>(
+        const graph::SocialGraph& graph,
+        const core::InterestProfiles& profiles,
+        const std::vector<NodeId>& pretrusted, std::size_t node_count)>;
+
+class Simulator {
+ public:
+  /// Constructs the network (interests, overlay, social graph, roles) from
+  /// `seed`, instantiates the reputation system via `factory`, and runs
+  /// `strategy->setup` if a strategy is given (nullptr = no collusion).
+  Simulator(SimConfig config, SystemFactory factory,
+            std::unique_ptr<CollusionStrategy> strategy, std::uint64_t seed);
+
+  /// Runs the configured number of simulation cycles and returns the
+  /// collected metrics. May be called once per Simulator instance.
+  RunResult run();
+
+  // --- accessors used by collusion strategies and tests ---
+  const SimConfig& config() const noexcept { return config_; }
+  graph::SocialGraph& social_graph() noexcept { return graph_; }
+  const graph::SocialGraph& social_graph() const noexcept { return graph_; }
+  core::InterestProfiles& profiles() noexcept { return profiles_; }
+  const core::InterestProfiles& profiles() const noexcept {
+    return profiles_;
+  }
+  reputation::ReputationSystem& system() noexcept { return *system_; }
+  const reputation::ReputationSystem& system() const noexcept {
+    return *system_;
+  }
+
+  const std::vector<NodeId>& pretrusted() const noexcept {
+    return pretrusted_;
+  }
+  const std::vector<NodeId>& colluders() const noexcept { return colluders_; }
+
+  NodeType node_type(NodeId node) const { return types_.at(node); }
+  CollusionRole collusion_role(NodeId node) const { return roles_.at(node); }
+  void set_collusion_role(NodeId node, CollusionRole role) {
+    roles_.at(node) = role;
+  }
+
+  /// Marks a pretrusted node as compromised (it joins the collusion); used
+  /// by the Figs. 10/15 variants. Affects bookkeeping only — the
+  /// reputation system still treats the node as pretrusted, which is
+  /// exactly the attack.
+  void set_compromised(NodeId node) { compromised_.at(node) = true; }
+  bool compromised(NodeId node) const { return compromised_.at(node); }
+
+  /// Service authenticity probability of `node` per its type.
+  double authentic_probability(NodeId node) const;
+
+  /// Submits a rating. `is_transaction` distinguishes ratings that follow
+  /// a real resource transfer (recorded as a request in the rater's
+  /// interest profile) from attack-injected ratings (which still count as
+  /// social interactions — the paper equates interaction frequency with
+  /// rating frequency — but cannot manufacture request history).
+  void submit_rating(NodeId rater, NodeId ratee, double value,
+                     InterestId interest, bool is_transaction);
+
+  /// Declared interests of `node` in rank order (most requested first).
+  std::span<const InterestId> interest_ranking(NodeId node) const {
+    return interest_rank_.at(node);
+  }
+
+  /// Whitewashing: the node discards its identity and rejoins fresh —
+  /// the reputation system forgets it (forget_node), its social edges and
+  /// interactions vanish, its request history clears, and any clients
+  /// stuck to it are detached. Its declared interests persist (the human
+  /// behind the identity keeps their tastes). Returns the number of times
+  /// this node has now whitewashed.
+  std::uint32_t whitewash(NodeId node);
+
+  /// How many times `node` has whitewashed so far.
+  std::uint32_t whitewash_count(NodeId node) const {
+    return whitewash_counts_.at(node);
+  }
+
+  stats::Rng& rng() noexcept { return rng_; }
+
+ private:
+  void assign_interests();
+  void build_social_graph();
+  void assign_roles();
+  double selection_bar() const;
+  NodeId select_server(NodeId client, InterestId interest);
+  void issue_request(NodeId client);
+  void record_cycle_metrics(RunResult& result);
+  void finalize_metrics(RunResult& result) const;
+
+  SimConfig config_;
+  stats::Rng rng_;
+
+  // Network state. Declaration order matters: system_ may reference
+  // graph_/profiles_ and must be destroyed first (declared last).
+  graph::SocialGraph graph_;
+  core::InterestProfiles profiles_;
+  std::vector<std::vector<NodeId>> interest_members_;  // per category
+  std::vector<std::vector<InterestId>> interest_rank_; // per node, by rank
+  std::vector<stats::ZipfDistribution> request_dist_;  // per node
+  std::vector<NodeType> types_;
+  std::vector<CollusionRole> roles_;
+  std::vector<bool> compromised_;
+  std::vector<double> active_prob_;
+  std::vector<NodeId> pretrusted_;
+  std::vector<NodeId> colluders_;
+  std::vector<std::uint32_t> whitewash_counts_;
+  std::vector<std::uint32_t> capacity_left_;  // per query cycle
+  /// Sticky provider per (client, category); kNoProvider when unset.
+  std::vector<std::vector<NodeId>> preferred_provider_;
+
+  reputation::RatingLedger ledger_;
+  std::unique_ptr<CollusionStrategy> strategy_;
+  std::unique_ptr<reputation::ReputationSystem> system_;
+
+  // Run-scope tallies.
+  std::uint64_t total_requests_ = 0;
+  std::uint64_t requests_to_colluders_ = 0;
+  std::uint64_t requests_to_pretrusted_ = 0;
+  std::uint64_t authentic_services_ = 0;
+  std::uint64_t inauthentic_services_ = 0;
+  std::uint64_t fake_ratings_ = 0;
+  double current_bar_ = 0.0;  // cached selection bar for the current cycle
+  bool ran_ = false;
+};
+
+}  // namespace st::sim

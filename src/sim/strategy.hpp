@@ -1,0 +1,36 @@
+#pragma once
+// Collusion strategy interface.
+//
+// The three attack models of Section 5.1 (PCM, MCM, MMM), their
+// compromised-pretrusted variants, and the falsified-social-information
+// counterattack all plug into the simulator through this interface; the
+// simulator itself stays attack-agnostic.
+
+#include <cstdint>
+#include <string_view>
+
+#include "stats/rng.hpp"
+
+namespace st::sim {
+
+class Simulator;
+
+class CollusionStrategy {
+ public:
+  virtual ~CollusionStrategy() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Invoked once after the simulator has built the network and assigned
+  /// roles. Strategies use this to wire social edges between conspirators
+  /// (the paper fixes colluder-colluder social distance to 1), assign
+  /// boosting/boosted roles, and falsify profiles.
+  virtual void setup(Simulator& sim, stats::Rng& rng) = 0;
+
+  /// Invoked at the end of every query cycle; strategies emit their fake
+  /// ratings here through Simulator::submit_rating.
+  virtual void on_query_cycle(Simulator& sim, std::uint32_t query_cycle,
+                              stats::Rng& rng) = 0;
+};
+
+}  // namespace st::sim

@@ -1,0 +1,62 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace st::stats {
+
+namespace {
+
+struct Moments {
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  bool valid = false;
+};
+
+Moments central_moments(std::span<const double> x,
+                        std::span<const double> y) noexcept {
+  Moments m;
+  std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return m;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    m.sxx += dx * dx;
+    m.syy += dy * dy;
+    m.sxy += dx * dy;
+  }
+  m.valid = m.sxx > 0.0 && m.syy > 0.0;
+  return m;
+}
+
+}  // namespace
+
+double pearson(std::span<const double> x,
+               std::span<const double> y) noexcept {
+  Moments m = central_moments(x, y);
+  if (!m.valid) return 0.0;
+  return m.sxy / std::sqrt(m.sxx * m.syy);
+}
+
+double paper_correlation(std::span<const double> x,
+                         std::span<const double> y) noexcept {
+  Moments m = central_moments(x, y);
+  if (!m.valid) return 0.0;
+  return (m.sxy * m.sxy) / (m.sxx * m.syy);
+}
+
+double linear_slope(std::span<const double> x,
+                    std::span<const double> y) noexcept {
+  Moments m = central_moments(x, y);
+  if (!m.valid || m.sxx == 0.0) return 0.0;
+  return m.sxy / m.sxx;
+}
+
+}  // namespace st::stats

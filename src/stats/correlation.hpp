@@ -1,0 +1,28 @@
+#pragma once
+// Correlation measures used by the trace analysis (Section 3 of the paper).
+//
+// The paper quantifies the "strength of the linear association" between a
+// user's reputation and business-network size with
+//   C = s_xy^2 / (s_xx * s_yy),
+// i.e. the *squared* Pearson coefficient (their reported C = 0.996 for
+// Fig. 1(a) and C = 0.092 for Fig. 2). We expose both the paper's C and the
+// plain Pearson r.
+
+#include <span>
+
+namespace st::stats {
+
+/// Pearson correlation coefficient r in [-1, 1]. Returns 0 when either
+/// series is constant or the series are shorter than 2 samples.
+double pearson(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// The paper's correlation statistic C = s_xy^2 / (s_xx s_yy) = r^2,
+/// in [0, 1].
+double paper_correlation(std::span<const double> x,
+                         std::span<const double> y) noexcept;
+
+/// Least-squares slope of y on x (0 when x is constant).
+double linear_slope(std::span<const double> x,
+                    std::span<const double> y) noexcept;
+
+}  // namespace st::stats

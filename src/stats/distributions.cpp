@@ -1,0 +1,104 @@
+#include "stats/distributions.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace st::stats {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent)
+    : exponent_(exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be > 0");
+  if (exponent <= 0.0)
+    throw std::invalid_argument("ZipfDistribution: exponent must be > 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -exponent);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfDistribution::operator()(Rng& rng) const noexcept {
+  double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t k) const noexcept {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+BoundedPareto::BoundedPareto(double lo, double hi, double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha) {
+  if (!(lo > 0.0) || !(hi > lo))
+    throw std::invalid_argument("BoundedPareto: require 0 < lo < hi");
+  if (!(alpha > 0.0))
+    throw std::invalid_argument("BoundedPareto: require alpha > 0");
+  lo_pow_ = std::pow(lo_, -alpha_);
+  hi_pow_ = std::pow(hi_, -alpha_);
+}
+
+double BoundedPareto::operator()(Rng& rng) const noexcept {
+  // Inverse-CDF of the bounded Pareto.
+  double u = rng.uniform();
+  double x = u * hi_pow_ + (1.0 - u) * lo_pow_;
+  return std::pow(x, -1.0 / alpha_);
+}
+
+DiscreteDistribution::DiscreteDistribution(std::span<const double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("DiscreteDistribution: empty weights");
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0)
+      throw std::invalid_argument("DiscreteDistribution: negative weight");
+    sum += w;
+  }
+  if (sum <= 0.0)
+    throw std::invalid_argument("DiscreteDistribution: zero total weight");
+
+  const std::size_t n = weights.size();
+  norm_.resize(n);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Walker/Vose alias construction: split scaled probabilities into
+  // "small" (< 1) and "large" (>= 1) worklists and pair them up.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    norm_[i] = weights[i] / sum;
+    scaled[i] = norm_[i] * static_cast<double>(n);
+  }
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    std::size_t s = small.back();
+    small.pop_back();
+    std::size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::size_t i : large) prob_[i] = 1.0;
+  for (std::size_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t DiscreteDistribution::operator()(Rng& rng) const noexcept {
+  std::size_t column = rng.index(prob_.size());
+  return rng.uniform() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace st::stats

@@ -1,0 +1,81 @@
+#pragma once
+// Samplers for the skewed distributions the paper's workloads rely on.
+//
+// Section 3 of the paper observes that per-category purchase counts follow a
+// power law (Fig. 4(a)) and Section 5.1 specifies that "the frequency at
+// which a node requests resources in its interests conforms to a power law
+// distribution". ZipfDistribution and the bounded Pareto sampler implement
+// those workloads; DiscreteDistribution (alias method) supports arbitrary
+// empirical weights in O(1) per sample.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace st::stats {
+
+/// Zipf(s) over ranks {0, 1, ..., n-1}: P(rank k) proportional to
+/// 1 / (k+1)^s. Sampling is O(1) via a precomputed inverse CDF table,
+/// built once in O(n).
+class ZipfDistribution {
+ public:
+  /// Precondition: n > 0, exponent > 0.
+  ZipfDistribution(std::size_t n, double exponent);
+
+  /// Draws one rank in [0, n).
+  std::size_t operator()(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double exponent() const noexcept { return exponent_; }
+
+  /// Probability mass of rank k.
+  double pmf(std::size_t k) const noexcept;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+  double exponent_;
+};
+
+/// Bounded Pareto: continuous power-law on [lo, hi] with density
+/// proportional to x^-(alpha+1). Used for heavy-tailed per-user activity.
+class BoundedPareto {
+ public:
+  /// Preconditions: 0 < lo < hi, alpha > 0.
+  BoundedPareto(double lo, double hi, double alpha);
+
+  double operator()(Rng& rng) const noexcept;
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double lo_, hi_, alpha_;
+  double lo_pow_, hi_pow_;  // lo^-alpha, hi^-alpha, cached
+};
+
+/// Arbitrary discrete distribution sampled in O(1) with Walker's alias
+/// method. Weights need not be normalised; they must be non-negative with a
+/// positive sum.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::span<const double> weights);
+
+  /// Draws one index in [0, weights.size()).
+  std::size_t operator()(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Normalised probability of index k (for testing / introspection).
+  double probability(std::size_t k) const noexcept { return norm_[k]; }
+
+ private:
+  std::vector<double> prob_;        // alias-table acceptance probabilities
+  std::vector<std::size_t> alias_;  // alias targets
+  std::vector<double> norm_;        // normalised input weights
+};
+
+}  // namespace st::stats

@@ -1,0 +1,77 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace st::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: require hi > lo");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  auto raw = static_cast<long>((x - lo_) / width_);
+  std::size_t b =
+      raw < 0 ? 0
+              : std::min(static_cast<std::size_t>(raw), counts_.size() - 1);
+  ++counts_[b];
+  ++total_;
+}
+
+void Histogram::add(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t b) const noexcept {
+  return lo_ + (static_cast<double>(b) + 0.5) * width_;
+}
+
+double Histogram::bin_lower(std::size_t b) const noexcept {
+  return lo_ + static_cast<double>(b) * width_;
+}
+
+double Histogram::density(std::size_t b) const noexcept {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_[b]) /
+                           static_cast<double>(total_);
+}
+
+double Histogram::cumulative(std::size_t b) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i <= b && i < counts_.size(); ++i)
+    acc += counts_[i];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(sorted.size());
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    double v = sorted[i];
+    double cum = static_cast<double>(i + 1) / n;
+    if (!cdf.empty() && cdf.back().value == v) {
+      cdf.back().cumulative = cum;  // collapse duplicate x values
+    } else {
+      cdf.push_back({v, cum});
+    }
+  }
+  return cdf;
+}
+
+double cdf_at(std::span<const CdfPoint> cdf, double x) noexcept {
+  double result = 0.0;
+  for (const auto& p : cdf) {
+    if (p.value > x) break;
+    result = p.cumulative;
+  }
+  return result;
+}
+
+}  // namespace st::stats

@@ -1,0 +1,55 @@
+#pragma once
+// Histogram and empirical-CDF helpers for reproducing the paper's
+// distribution plots (Fig. 4(a) category-rank CDF, Fig. 4(b) interest-
+// similarity transaction CDF, and the reputation-distribution figures).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace st::stats {
+
+/// Fixed-width binned histogram over [lo, hi]. Values outside the range are
+/// clamped into the first/last bin so no sample is silently dropped.
+class Histogram {
+ public:
+  /// Preconditions: bins > 0, hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add(std::span<const double> xs) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  std::size_t total() const noexcept { return total_; }
+
+  /// Centre of bin b.
+  double bin_center(std::size_t b) const noexcept;
+  /// Lower edge of bin b.
+  double bin_lower(std::size_t b) const noexcept;
+
+  /// Fraction of samples in bin b (0 when empty).
+  double density(std::size_t b) const noexcept;
+
+  /// Cumulative fraction of samples in bins [0, b].
+  double cumulative(std::size_t b) const noexcept;
+
+ private:
+  double lo_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value;       ///< sample value (x axis)
+  double cumulative;  ///< P(X <= value)   (y axis)
+};
+
+/// Builds the full empirical CDF of `values` (sorted, deduplicated x).
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values);
+
+/// Evaluates an empirical CDF at x (step interpolation).
+double cdf_at(std::span<const CdfPoint> cdf, double x) noexcept;
+
+}  // namespace st::stats

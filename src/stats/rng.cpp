@@ -1,0 +1,119 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace st::stats {
+
+namespace {
+constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept
+    : state_(0), inc_((stream << 1U) | 1U) {
+  // Standard PCG initialisation: advance once, add the seed, advance again.
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+Rng::result_type Rng::next_u32() noexcept {
+  std::uint64_t old = state_;
+  state_ = old * kMultiplier + inc_;
+  auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+  auto rot = static_cast<std::uint32_t>(old >> 59U);
+  return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  std::uint64_t hi = next_u32();
+  return (hi << 32U) | next_u32();
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits -> double in [0, 1) with full mantissa resolution.
+  return static_cast<double>(next_u64() >> 11U) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+  std::uint64_t range = hi - lo + 1;  // hi == UINT64_MAX && lo == 0 -> 0
+  if (range == 0) return next_u64();
+  // Lemire's multiply-shift rejection method (64-bit variant).
+  while (true) {
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * range;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low >= range) return lo + static_cast<std::uint64_t>(m >> 64U);
+    // Reject the biased low region.
+    std::uint64_t threshold = (0ULL - range) % range;
+    if (low >= threshold) return lo + static_cast<std::uint64_t>(m >> 64U);
+  }
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) noexcept {
+  auto span = static_cast<std::uint64_t>(hi - lo);
+  return lo + static_cast<std::int64_t>(uniform_u64(0, span));
+}
+
+std::size_t Rng::index(std::size_t n) noexcept {
+  return static_cast<std::size_t>(uniform_u64(0, n - 1));
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() noexcept {
+  // Box–Muller; u clamped away from zero so log() stays finite.
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  double v = uniform();
+  return std::sqrt(-2.0 * std::log(u)) *
+         std::cos(2.0 * std::numbers::pi * v);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / rate;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  if (k > n) k = n;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::split(std::uint64_t salt) noexcept {
+  // Mix the salt through splitmix64 so adjacent salts yield unrelated
+  // (seed, stream) pairs.
+  auto mix = [](std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27U)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31U);
+  };
+  std::uint64_t s = mix(next_u64() ^ mix(salt));
+  std::uint64_t t = mix(s ^ 0xa02bdbf7bb3c0a7ULL);
+  return Rng(s, t);
+}
+
+}  // namespace st::stats

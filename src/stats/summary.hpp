@@ -1,0 +1,55 @@
+#pragma once
+// Streaming summary statistics and confidence intervals.
+//
+// The paper reports every experiment as the mean of 5 runs with a 95%
+// confidence interval (Section 5.1); Accumulator + confidence_interval95
+// implement exactly that reporting path.
+
+#include <cstddef>
+#include <span>
+
+namespace st::stats {
+
+/// Streaming mean/variance/min/max via Welford's algorithm. Numerically
+/// stable for long simulations; merging supports parallel reduction.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-reduction step) using the
+  /// Chan et al. pairwise update.
+  void merge(const Accumulator& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Symmetric 95% confidence interval half-width for the mean of the
+/// accumulated samples, using Student-t critical values for small n
+/// (the paper's experiments use n = 5 runs).
+double confidence_interval95(const Accumulator& acc) noexcept;
+
+/// Convenience: accumulate a whole span.
+Accumulator summarize(std::span<const double> values) noexcept;
+
+/// Mean of a span (0 for empty input).
+double mean_of(std::span<const double> values) noexcept;
+
+/// p-th percentile (p in [0,100]) with linear interpolation between order
+/// statistics. Copies and sorts internally; 0 for empty input.
+double percentile(std::span<const double> values, double p);
+
+}  // namespace st::stats

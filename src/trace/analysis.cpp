@@ -1,0 +1,159 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <unordered_map>
+
+#include "stats/correlation.hpp"
+
+namespace st::trace {
+
+namespace {
+
+struct PairStats {
+  std::uint32_t count = 0;
+  double rating_sum = 0.0;
+};
+
+}  // namespace
+
+TraceAnalysis analyze_trace(const MarketplaceTrace& trace,
+                            std::size_t rank_limit) {
+  TraceAnalysis out;
+  const std::size_t n = trace.config.user_count;
+
+  // --- Figs. 1(a), 1(b), 2: correlations against reputation ---
+  std::vector<double> reputation(n), business(n), personal(n), sold(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    reputation[u] = trace.reputation[u];
+    business[u] = trace.business_network_size[u];
+    personal[u] = static_cast<double>(trace.personal_network.degree(
+        static_cast<NodeId>(u)));
+    sold[u] = trace.transactions_as_seller[u];
+  }
+  out.reputation_business_correlation =
+      stats::paper_correlation(reputation, business);
+  out.reputation_transactions_correlation =
+      stats::paper_correlation(reputation, sold);
+  out.reputation_personal_correlation =
+      stats::paper_correlation(reputation, personal);
+
+  // --- Fig. 3: per-distance rating value and pair frequency ---
+  // Distances beyond 3 hops (or disconnected, recorded as 0) aggregate
+  // into the "4" row, mirroring the paper's 4-hop x axis.
+  std::unordered_map<std::uint64_t, PairStats> pair_stats;
+  std::array<double, 5> rating_sum{};
+  std::array<std::uint64_t, 5> tx_count{};
+  for (const Transaction& tx : trace.transactions) {
+    std::uint8_t d = tx.social_distance;
+    std::size_t bucket = (d >= 1 && d <= 3) ? d : 4;
+    rating_sum[bucket] += tx.buyer_rating;
+    ++tx_count[bucket];
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(tx.buyer) << 32U) | tx.seller;
+    PairStats& ps = pair_stats[key];
+    ++ps.count;
+    ps.rating_sum += tx.buyer_rating;
+  }
+  // Pair frequency per distance: mean ratings per distinct pair. We need
+  // each pair's distance; recover it from any of its transactions.
+  std::unordered_map<std::uint64_t, std::uint8_t> pair_distance;
+  for (const Transaction& tx : trace.transactions) {
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(tx.buyer) << 32U) | tx.seller;
+    pair_distance.emplace(key, tx.social_distance);
+  }
+  std::array<double, 5> pair_count{};
+  std::array<double, 5> pair_rating_total{};
+  for (const auto& [key, ps] : pair_stats) {
+    std::uint8_t d = pair_distance[key];
+    std::size_t bucket = (d >= 1 && d <= 3) ? d : 4;
+    pair_count[bucket] += 1.0;
+    pair_rating_total[bucket] += ps.count;
+  }
+  for (std::uint8_t d = 1; d <= 4; ++d) {
+    DistanceRow row;
+    row.distance = d;
+    row.transactions = tx_count[d];
+    row.average_rating =
+        tx_count[d] ? rating_sum[d] / static_cast<double>(tx_count[d]) : 0.0;
+    row.average_frequency =
+        pair_count[d] > 0.0 ? pair_rating_total[d] / pair_count[d] : 0.0;
+    out.by_distance.push_back(row);
+  }
+
+  // --- Fig. 4(a): purchases by category rank ---
+  // For each buyer, sort its purchase counts per category descending; the
+  // rank-r share is its r-th largest count over its total purchases.
+  std::vector<std::unordered_map<InterestId, std::uint32_t>> purchases(n);
+  for (const Transaction& tx : trace.transactions) {
+    ++purchases[tx.buyer][tx.category];
+  }
+  std::vector<double> share_sum(rank_limit, 0.0);
+  std::size_t buyers_counted = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (purchases[u].empty()) continue;
+    std::vector<double> counts;
+    counts.reserve(purchases[u].size());
+    double total = 0.0;
+    for (const auto& [cat, cnt] : purchases[u]) {
+      counts.push_back(cnt);
+      total += cnt;
+    }
+    std::sort(counts.begin(), counts.end(), std::greater<>());
+    for (std::size_t r = 0; r < rank_limit && r < counts.size(); ++r) {
+      share_sum[r] += counts[r] / total;
+    }
+    ++buyers_counted;
+  }
+  out.category_rank_share.resize(rank_limit, 0.0);
+  out.category_rank_cdf.resize(rank_limit, 0.0);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rank_limit; ++r) {
+    out.category_rank_share[r] =
+        buyers_counted ? share_sum[r] / static_cast<double>(buyers_counted)
+                       : 0.0;
+    acc += out.category_rank_share[r];
+    out.category_rank_cdf[r] = acc;
+  }
+  out.top3_share = rank_limit >= 3 ? out.category_rank_cdf[2] : acc;
+
+  // --- Fig. 4(b): transaction-pair interest similarity CDF ---
+  // Similarity is Eq. (7) over declared profiles, computed once per
+  // distinct pair, weighted by that pair's transaction count.
+  std::map<double, std::uint64_t> similarity_tx;  // ordered for the CDF
+  double similarity_weighted_sum = 0.0;
+  std::uint64_t tx_total = 0;
+  for (const auto& [key, ps] : pair_stats) {
+    auto buyer = static_cast<NodeId>(key >> 32U);
+    auto seller = static_cast<NodeId>(key & 0xFFFFFFFFU);
+    double sim = trace.profiles.similarity(buyer, seller);
+    similarity_tx[sim] += ps.count;
+    similarity_weighted_sum += sim * static_cast<double>(ps.count);
+    tx_total += ps.count;
+  }
+  if (tx_total > 0) {
+    std::uint64_t running = 0;
+    for (const auto& [sim, cnt] : similarity_tx) {
+      running += cnt;
+      out.similarity_cdf.push_back(
+          {sim, static_cast<double>(running) / static_cast<double>(tx_total)});
+    }
+    out.mean_pair_similarity =
+        similarity_weighted_sum / static_cast<double>(tx_total);
+    std::uint64_t low = 0, above03 = 0;
+    for (const auto& [sim, cnt] : similarity_tx) {
+      if (sim <= 0.2) low += cnt;
+      if (sim > 0.3) above03 += cnt;
+    }
+    out.fraction_low_similarity =
+        static_cast<double>(low) / static_cast<double>(tx_total);
+    out.fraction_above_03 =
+        static_cast<double>(above03) / static_cast<double>(tx_total);
+  }
+
+  return out;
+}
+
+}  // namespace st::trace

@@ -1,0 +1,67 @@
+#pragma once
+// Section 3 analysis pipelines: recompute the paper's trace statistics
+// (Figs. 1-4, observations O1-O6) from a MarketplaceTrace.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/marketplace.hpp"
+
+namespace st::trace {
+
+/// Fig. 3 row: transactions at one buyer-seller social distance.
+struct DistanceRow {
+  std::uint8_t distance = 0;       ///< hops (1-4); 4 aggregates ">3 or none"
+  double average_rating = 0.0;     ///< mean buyer rating of the seller
+  double average_frequency = 0.0;  ///< mean #ratings per (buyer,seller) pair
+  std::uint64_t transactions = 0;
+};
+
+/// One empirical-CDF sample of Fig. 4(b): fraction of transactions whose
+/// buyer/seller interest similarity is <= `similarity`.
+struct SimilarityCdfPoint {
+  double similarity = 0.0;
+  double cumulative_fraction = 0.0;
+};
+
+struct TraceAnalysis {
+  // --- Fig. 1(a): reputation vs business-network size ---
+  /// Paper correlation C = r^2 (the crawl showed 0.996).
+  double reputation_business_correlation = 0.0;
+
+  // --- Fig. 1(b): reputation vs transactions received ---
+  double reputation_transactions_correlation = 0.0;
+
+  // --- Fig. 2: reputation vs personal-network size ---
+  /// The crawl showed a weak 0.092.
+  double reputation_personal_correlation = 0.0;
+
+  // --- Fig. 3: behaviour by social distance ---
+  std::vector<DistanceRow> by_distance;  ///< rows for distances 1..4
+
+  // --- Fig. 4(a): category-rank concentration ---
+  /// share[r] = average share of a user's purchases in its rank-(r+1)
+  /// category; cdf[r] = cumulative share of ranks 1..r+1.
+  std::vector<double> category_rank_share;
+  std::vector<double> category_rank_cdf;
+  /// Paper headline: "the top 3 categories ... constitute about 88%".
+  double top3_share = 0.0;
+
+  // --- Fig. 4(b): interest similarity of transaction pairs ---
+  std::vector<SimilarityCdfPoint> similarity_cdf;
+  /// Paper headline numbers: 10% of transactions at <= 0.2 similarity,
+  /// 60% at > 0.3.
+  double fraction_low_similarity = 0.0;   ///< tx with similarity <= 0.2
+  double fraction_above_03 = 0.0;         ///< tx with similarity > 0.3
+
+  /// Average interest similarity over transaction pairs (the paper quotes
+  /// 0.423 for Overstock, used as the system-wide Gaussian centre).
+  double mean_pair_similarity = 0.0;
+};
+
+/// Runs all Section 3 pipelines. `rank_limit` bounds the Fig. 4(a) rank
+/// table (the paper plots the top 7).
+TraceAnalysis analyze_trace(const MarketplaceTrace& trace,
+                            std::size_t rank_limit = 7);
+
+}  // namespace st::trace

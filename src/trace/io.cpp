@@ -1,0 +1,82 @@
+#include "trace/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace st::trace {
+
+void write_transactions_csv(std::ostream& out,
+                            const MarketplaceTrace& trace) {
+  out << "buyer,seller,category,buyer_rating,seller_rating,"
+         "social_distance\n";
+  for (const Transaction& tx : trace.transactions) {
+    out << tx.buyer << ',' << tx.seller << ',' << tx.category << ','
+        << tx.buyer_rating << ',' << tx.seller_rating << ','
+        << static_cast<unsigned>(tx.social_distance) << '\n';
+  }
+}
+
+MarketplaceTrace read_transactions_csv(std::istream& in,
+                                       const TraceConfig& config) {
+  MarketplaceTrace trace(config);
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("read_transactions_csv: empty input");
+  }
+  // Per-user distinct-partner sets and bought/sold category sets.
+  std::vector<std::unordered_set<NodeId>> partners(config.user_count);
+  std::vector<std::unordered_set<InterestId>> categories(config.user_count);
+
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    Transaction tx;
+    unsigned long buyer = 0, seller = 0, category = 0, distance = 0;
+    char comma = 0;
+    if (!(row >> buyer >> comma >> seller >> comma >> category >> comma >>
+          tx.buyer_rating >> comma >> tx.seller_rating >> comma >>
+          distance)) {
+      throw std::runtime_error("read_transactions_csv: malformed line " +
+                               std::to_string(line_number));
+    }
+    if (buyer >= config.user_count || seller >= config.user_count ||
+        category >= config.category_count || distance > 255) {
+      throw std::runtime_error("read_transactions_csv: id out of range on "
+                               "line " +
+                               std::to_string(line_number));
+    }
+    tx.buyer = static_cast<NodeId>(buyer);
+    tx.seller = static_cast<NodeId>(seller);
+    tx.category = static_cast<InterestId>(category);
+    tx.social_distance = static_cast<std::uint8_t>(distance);
+    trace.transactions.push_back(tx);
+
+    trace.reputation[tx.seller] += tx.buyer_rating;
+    trace.reputation[tx.buyer] += tx.seller_rating;
+    ++trace.transactions_as_seller[tx.seller];
+    trace.profiles.record_request(tx.buyer, tx.category);
+    categories[tx.buyer].insert(tx.category);
+    categories[tx.seller].insert(tx.category);
+    if (partners[tx.buyer].insert(tx.seller).second) {
+      trace.business_network_size[tx.buyer] =
+          static_cast<std::uint32_t>(partners[tx.buyer].size());
+    }
+    if (partners[tx.seller].insert(tx.buyer).second) {
+      trace.business_network_size[tx.seller] =
+          static_cast<std::uint32_t>(partners[tx.seller].size());
+    }
+  }
+  for (NodeId u = 0; u < config.user_count; ++u) {
+    std::vector<InterestId> set(categories[u].begin(), categories[u].end());
+    trace.profiles.set_interests(u, set);
+  }
+  return trace;
+}
+
+}  // namespace st::trace

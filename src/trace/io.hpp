@@ -1,0 +1,29 @@
+#pragma once
+// Marketplace-trace serialisation: CSV export/import so the Section 3
+// analysis pipelines can run over externally supplied transaction data
+// (and so generated traces can be inspected with standard tooling).
+//
+// Format (one header line, then one line per transaction):
+//   buyer,seller,category,buyer_rating,seller_rating,social_distance
+
+#include <iosfwd>
+
+#include "trace/marketplace.hpp"
+
+namespace st::trace {
+
+/// Writes the transaction list as CSV.
+void write_transactions_csv(std::ostream& out,
+                            const MarketplaceTrace& trace);
+
+/// Reads a transaction CSV (the write_transactions_csv format) and
+/// reconstructs a MarketplaceTrace over `config.user_count` users:
+/// transactions, reputations, business-network sizes and per-buyer request
+/// histories are rebuilt from the rows; the personal network is left empty
+/// unless supplied separately (graph::read_edge_list). Profiles' declared
+/// sets are inferred as "categories the user bought or sold in".
+/// Throws std::runtime_error on malformed input or out-of-range ids.
+MarketplaceTrace read_transactions_csv(std::istream& in,
+                                       const TraceConfig& config);
+
+}  // namespace st::trace

@@ -1,0 +1,188 @@
+#include "trace/marketplace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "graph/generators.hpp"
+#include "stats/distributions.hpp"
+
+namespace st::trace {
+
+namespace {
+
+/// Capped BFS from `origin` collecting distances <= 3 (the proximity
+/// horizon the paper observes: "users possessing a social network
+/// primarily transact with 2 to 3 hop partners").
+void near_set(const graph::SocialGraph& g, NodeId origin,
+              std::vector<std::uint8_t>& dist_out,
+              std::vector<NodeId>& touched) {
+  touched.clear();
+  std::queue<std::pair<NodeId, std::uint8_t>> frontier;
+  frontier.push({origin, 0});
+  dist_out[origin] = 0;
+  touched.push_back(origin);
+  while (!frontier.empty()) {
+    auto [node, d] = frontier.front();
+    frontier.pop();
+    if (d >= 3) continue;
+    for (NodeId next : g.neighbors(node)) {
+      if (dist_out[next] != 0xFF) continue;
+      dist_out[next] = static_cast<std::uint8_t>(d + 1);
+      touched.push_back(next);
+      frontier.push({next, static_cast<std::uint8_t>(d + 1)});
+    }
+  }
+}
+
+double distance_boost(const TraceConfig& cfg, std::uint8_t d) {
+  switch (d) {
+    case 1:
+      return cfg.distance_boost_1;
+    case 2:
+      return cfg.distance_boost_2;
+    case 3:
+      return cfg.distance_boost_3;
+    default:
+      return 1.0;
+  }
+}
+
+double rating_bonus(const TraceConfig& cfg, std::uint8_t d) {
+  switch (d) {
+    case 1:
+      return cfg.rating_bonus_1;
+    case 2:
+      return cfg.rating_bonus_2;
+    case 3:
+      return cfg.rating_bonus_3;
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+MarketplaceTrace generate_trace(const TraceConfig& config, stats::Rng& rng) {
+  MarketplaceTrace trace(config);
+  const std::size_t n = config.user_count;
+
+  // 1. Personal network: preferential attachment — power-law degrees
+  //    independent of (future) commerce, giving the weak Fig. 2 coupling.
+  trace.personal_network =
+      graph::barabasi_albert(n, config.friends_per_user, rng);
+
+  // 2. Declared interests: set size uniform in [min, max]; categories drawn
+  //    by global Zipf popularity; per-user preference over own categories
+  //    is Zipf(preference_zipf) so the top-ranked few dominate purchases.
+  stats::ZipfDistribution category_pop(config.category_count,
+                                       config.category_popularity_zipf);
+  std::vector<std::vector<InterestId>> interests(n);
+  std::vector<std::vector<NodeId>> category_sellers(config.category_count);
+  for (NodeId u = 0; u < n; ++u) {
+    auto k = static_cast<std::size_t>(rng.uniform_u64(
+        config.min_interests,
+        std::min(config.max_interests, config.category_count)));
+    std::unordered_set<InterestId> set;
+    std::size_t guard = 0;
+    while (set.size() < k && guard++ < 40 * k) {
+      set.insert(static_cast<InterestId>(category_pop(rng)));
+    }
+    interests[u].assign(set.begin(), set.end());
+    // Random preference order: the sample arrives unordered, shuffle to
+    // decouple rank from category id.
+    rng.shuffle(std::span<InterestId>(interests[u]));
+    trace.profiles.set_interests(u, interests[u]);
+    for (InterestId c : interests[u]) category_sellers[c].push_back(u);
+  }
+
+  // Per-seller intrinsic quality: drives ratings, hence reputation.
+  std::vector<double> quality(n);
+  for (NodeId u = 0; u < n; ++u) quality[u] = rng.uniform(0.4, 1.0);
+
+  // 3. Buyer activity: bounded Pareto weights -> heavy-tailed buyer mix.
+  stats::BoundedPareto activity(1.0, 1000.0, config.activity_alpha);
+  std::vector<double> buyer_weight(n);
+  for (NodeId u = 0; u < n; ++u) buyer_weight[u] = activity(rng);
+  stats::DiscreteDistribution buyer_dist(buyer_weight);
+
+  // Distinct-business-partner tracking.
+  std::vector<std::unordered_set<NodeId>> partners(n);
+  std::vector<std::uint8_t> dist_scratch(n, 0xFF);
+  std::vector<NodeId> touched;
+
+  trace.transactions.reserve(config.transaction_count);
+  for (std::size_t t = 0; t < config.transaction_count; ++t) {
+    auto buyer = static_cast<NodeId>(buyer_dist(rng));
+    const auto& prefs = interests[buyer];
+    if (prefs.empty()) continue;
+    // Category by the buyer's Zipf preference over its own ranking.
+    stats::ZipfDistribution pref(prefs.size(), config.preference_zipf);
+    InterestId category = prefs[pref(rng)];
+
+    const auto& sellers = category_sellers[category];
+    if (sellers.size() < 2) continue;
+
+    near_set(trace.personal_network, buyer, dist_scratch, touched);
+
+    // Weighted seller choice among a bounded random candidate sample.
+    NodeId chosen = buyer;
+    double total_weight = 0.0;
+    std::size_t sample =
+        std::min(config.candidate_sample, sellers.size());
+    for (std::size_t s = 0; s < sample; ++s) {
+      NodeId cand = sellers[rng.index(sellers.size())];
+      if (cand == buyer) continue;
+      std::uint8_t d = dist_scratch[cand];
+      double w = std::pow(1.0 + std::max(trace.reputation[cand], 0.0),
+                          config.reputation_bias) *
+                 distance_boost(config, d == 0xFF ? 4 : d);
+      total_weight += w;
+      if (rng.uniform() * total_weight < w) chosen = cand;
+    }
+    if (chosen == buyer) {
+      for (NodeId v : touched) dist_scratch[v] = 0xFF;
+      continue;
+    }
+
+    std::uint8_t d = dist_scratch[chosen];
+    std::uint8_t recorded_distance = (d == 0xFF || d == 0) ? 0 : d;
+    for (NodeId v : touched) dist_scratch[v] = 0xFF;
+
+    // Ratings: seller quality maps to [-2, +2]; social closeness adds a
+    // bonus (Fig. 3(a): closer pairs rate each other higher).
+    double base = (quality[chosen] * 2.0 - 1.0) * 2.0;  // [-1.2, 2]
+    double bonus = rating_bonus(config, recorded_distance);
+    double noise = rng.normal(0.0, 0.35);
+    double buyer_rating =
+        std::clamp(std::round(base + bonus + noise), -2.0, 2.0);
+    double seller_rating =
+        std::clamp(std::round(1.6 + rng.normal(0.0, 0.4)), -2.0, 2.0);
+
+    Transaction tx;
+    tx.buyer = buyer;
+    tx.seller = chosen;
+    tx.category = category;
+    tx.buyer_rating = buyer_rating;
+    tx.seller_rating = seller_rating;
+    tx.social_distance = recorded_distance;
+    trace.transactions.push_back(tx);
+
+    // Bookkeeping that feeds the Section 3 analysis.
+    trace.reputation[chosen] += buyer_rating;
+    trace.reputation[buyer] += seller_rating;
+    ++trace.transactions_as_seller[chosen];
+    trace.profiles.record_request(buyer, category);
+    if (partners[buyer].insert(chosen).second)
+      trace.business_network_size[buyer] =
+          static_cast<std::uint32_t>(partners[buyer].size());
+    if (partners[chosen].insert(buyer).second)
+      trace.business_network_size[chosen] =
+          static_cast<std::uint32_t>(partners[chosen].size());
+  }
+
+  return trace;
+}
+
+}  // namespace st::trace

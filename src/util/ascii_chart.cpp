@@ -1,0 +1,83 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace st::util {
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width) {
+  if (bars.empty()) return "(no data)\n";
+  double max_abs = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, value] : bars) {
+    max_abs = std::max(max_abs, std::fabs(value));
+    label_w = std::max(label_w, label.size());
+  }
+  if (max_abs == 0.0) max_abs = 1.0;
+
+  std::ostringstream out;
+  for (const auto& [label, value] : bars) {
+    auto len = static_cast<std::size_t>(
+        std::lround(std::fabs(value) / max_abs * static_cast<double>(width)));
+    out << label << std::string(label_w - label.size(), ' ') << " |";
+    out << std::string(len, value >= 0.0 ? '#' : '<');
+    out << "  " << value << "\n";
+  }
+  return out.str();
+}
+
+std::string line_chart(const std::vector<SeriesPoint>& points,
+                       std::size_t width, std::size_t height) {
+  if (points.empty()) return "(no data)\n";
+  double xmin = points.front().x, xmax = points.front().x;
+  double ymin = points.front().y, ymax = points.front().y;
+  for (const auto& p : points) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (const auto& p : points) {
+    auto cx = static_cast<std::size_t>(
+        std::lround((p.x - xmin) / (xmax - xmin) *
+                    static_cast<double>(width - 1)));
+    auto cy = static_cast<std::size_t>(
+        std::lround((p.y - ymin) / (ymax - ymin) *
+                    static_cast<double>(height - 1)));
+    grid[height - 1 - cy][cx] = '*';
+  }
+
+  std::ostringstream out;
+  out << "y: [" << ymin << ", " << ymax << "]\n";
+  for (const auto& row : grid) out << "  |" << row << "\n";
+  out << "  +" << std::string(width, '-') << "\n";
+  out << "   x: [" << xmin << ", " << xmax << "]\n";
+  return out.str();
+}
+
+std::vector<std::pair<std::string, double>> bucketize(
+    const std::vector<double>& values, std::size_t buckets) {
+  std::vector<std::pair<std::string, double>> out;
+  if (values.empty() || buckets == 0) return out;
+  buckets = std::min(buckets, values.size());
+  const std::size_t n = values.size();
+  for (std::size_t b = 0; b < buckets; ++b) {
+    std::size_t lo = b * n / buckets;
+    std::size_t hi = (b + 1) * n / buckets;  // exclusive
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += values[i];
+    double mean = sum / static_cast<double>(hi - lo);
+    std::ostringstream label;
+    label << "[" << (lo + 1) << "-" << hi << "]";
+    out.emplace_back(label.str(), mean);
+  }
+  return out;
+}
+
+}  // namespace st::util

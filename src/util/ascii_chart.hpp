@@ -1,0 +1,33 @@
+#pragma once
+// Terminal chart rendering so every bench binary can show the *shape* of
+// the paper's figures (reputation-distribution bar charts, CDF curves)
+// directly in its stdout, next to the numeric rows.
+
+#include <string>
+#include <vector>
+
+namespace st::util {
+
+struct SeriesPoint {
+  double x;
+  double y;
+};
+
+/// Renders a horizontal bar chart: one bar per (label, value).
+/// Values are scaled to `width` characters; negative values render leftward
+/// markers. Suitable for the per-node reputation distributions of Figs 7-18.
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& bars,
+                      std::size_t width = 60);
+
+/// Renders an x/y scatter/line as a fixed-size character grid; used for the
+/// CDF and trend figures (Figs 1-4, 19-20).
+std::string line_chart(const std::vector<SeriesPoint>& points,
+                       std::size_t width = 70, std::size_t height = 16);
+
+/// Down-samples a long per-node vector into `buckets` group means with
+/// labels "[lo-hi]" — the reputation-distribution figures plot 200 node IDs,
+/// which is too many bars for a terminal.
+std::vector<std::pair<std::string, double>> bucketize(
+    const std::vector<double>& values, std::size_t buckets);
+
+}  // namespace st::util

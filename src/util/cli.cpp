@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace st::util {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string name = arg.substr(2);
+      std::string value;
+      auto eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      flags_[name] = value;
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name, std::string def) const {
+  auto v = get(name);
+  return v && !v->empty() ? *v : def;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t def) const {
+  auto v = get(name);
+  if (!v || v->empty()) return def;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& name,
+                               std::uint64_t def) const {
+  auto v = get(name);
+  if (!v || v->empty()) return def;
+  return std::strtoull(v->c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  auto v = get(name);
+  if (!v || v->empty()) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+}  // namespace st::util

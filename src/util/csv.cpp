@@ -1,0 +1,26 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace st::util {
+
+std::filesystem::path write_csv(const Table& table,
+                                const std::filesystem::path& dir,
+                                const std::string& name) {
+  std::filesystem::create_directories(dir);
+  std::filesystem::path path = dir / name;
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_csv: cannot open " + path.string());
+  }
+  out << table.to_csv();
+  if (!out) {
+    throw std::runtime_error("write_csv: write failed for " + path.string());
+  }
+  return path;
+}
+
+}  // namespace st::util

@@ -1,0 +1,17 @@
+#pragma once
+// Minimal CSV writing used by bench binaries when `--csv <dir>` is given:
+// each table/figure emits a machine-readable file alongside its stdout rows.
+
+#include <filesystem>
+#include <string>
+
+namespace st::util {
+class Table;
+
+/// Writes `table` as CSV to `dir/name`. Creates the directory if needed.
+/// Returns the full path written. Throws std::runtime_error on I/O failure.
+std::filesystem::path write_csv(const Table& table,
+                                const std::filesystem::path& dir,
+                                const std::string& name);
+
+}  // namespace st::util

@@ -1,0 +1,49 @@
+#pragma once
+// Plain-text table rendering for bench/experiment output.
+//
+// Every bench binary prints the rows the corresponding paper table/figure
+// reports; Table keeps that output aligned and diff-friendly, and can also
+// serialise itself as CSV for downstream plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace st::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 4);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+  const std::string& cell(std::size_t row, std::size_t col) const {
+    return rows_.at(row).at(col);
+  }
+
+  /// Renders an aligned ASCII table.
+  std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for bench rows).
+std::string fmt(double value, int precision = 4);
+
+/// Formats "mean ± ci" the way the paper's error bars read.
+std::string fmt_ci(double mean, double ci, int precision = 4);
+
+}  // namespace st::util

@@ -1,0 +1,74 @@
+#pragma once
+// Fixed-size RAII thread pool for fanning out independent simulation runs.
+//
+// The experiment harness repeats every configuration 5 times with distinct
+// RNG streams (paper Section 5.1); runs share no mutable state, so they map
+// onto a plain task pool. The pool follows the C++ Core Guidelines
+// concurrency rules: joins in the destructor (CP.23-style), tasks own their
+// data, results come back through futures.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace st::util {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (defaults to hardware concurrency, minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_)
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Exceptions from tasks propagate out of this call (first one wins).
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(submit([&fn, i] { fn(i); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace st::util

@@ -1,0 +1,275 @@
+// Tests for the collusion attack models — partner wiring, role assignment,
+// rating emission patterns, compromised-pretrusted and falsified-info
+// variants.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "collusion/models.hpp"
+#include "sim/experiment.hpp"
+#include "sim/factories.hpp"
+
+namespace st::collusion {
+namespace {
+
+using sim::CollusionRole;
+using sim::NodeId;
+using sim::SimConfig;
+using sim::Simulator;
+
+SimConfig tiny_config() {
+  SimConfig cfg;
+  cfg.node_count = 60;
+  cfg.pretrusted_count = 4;
+  cfg.colluder_count = 10;
+  cfg.simulation_cycles = 3;
+  cfg.query_cycles_per_cycle = 5;
+  return cfg;
+}
+
+template <typename Strategy>
+std::pair<std::unique_ptr<Simulator>, Strategy*> make_sim(
+    CollusionOptions options = {}, SimConfig cfg = tiny_config(),
+    std::uint64_t seed = 42) {
+  auto strategy = std::make_unique<Strategy>(options);
+  Strategy* raw = strategy.get();
+  auto sim = std::make_unique<Simulator>(
+      cfg, sim::make_paper_eigentrust_factory(), std::move(strategy), seed);
+  return {std::move(sim), raw};
+}
+
+// --- PCM ------------------------------------------------------------------------
+
+TEST(Pcm, PairsUpAllColluders) {
+  auto [sim, strategy] = make_sim<PairwiseCollusion>();
+  EXPECT_EQ(strategy->links().size(), 5u);  // 10 colluders -> 5 pairs
+  std::set<NodeId> seen;
+  for (const auto& [a, b] : strategy->links()) {
+    EXPECT_TRUE(seen.insert(a).second);
+    EXPECT_TRUE(seen.insert(b).second);
+    EXPECT_EQ(sim->collusion_role(a), CollusionRole::kBoth);
+    EXPECT_EQ(sim->collusion_role(b), CollusionRole::kBoth);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Pcm, PartnersWiredAtSocialDistanceOne) {
+  auto [sim, strategy] = make_sim<PairwiseCollusion>();
+  const auto& cfg = sim->config();
+  for (const auto& [a, b] : strategy->links()) {
+    EXPECT_TRUE(sim->social_graph().adjacent(a, b));
+    std::size_t rels = sim->social_graph().relationship_count(a, b);
+    EXPECT_GE(rels, cfg.colluder_relationships_min);
+    EXPECT_LE(rels, cfg.colluder_relationships_max);
+  }
+}
+
+TEST(Pcm, EmitsMutualRatingsAtConfiguredRate) {
+  CollusionOptions options;
+  options.ratings_per_query_cycle = 7;
+  auto [sim, strategy] = make_sim<PairwiseCollusion>(options);
+  auto result = sim->run();
+  // 5 pairs x 2 directions x 7 ratings x 5 qc x 3 cycles.
+  EXPECT_EQ(result.fake_ratings, 5u * 2u * 7u * 5u * 3u);
+}
+
+TEST(Pcm, OddColluderCountLeavesOneOut) {
+  SimConfig cfg = tiny_config();
+  cfg.colluder_count = 7;
+  auto [sim, strategy] = make_sim<PairwiseCollusion>({}, cfg);
+  EXPECT_EQ(strategy->links().size(), 3u);
+}
+
+// --- MCM ------------------------------------------------------------------------
+
+TEST(Mcm, SplitsBoostedAndBoosting) {
+  CollusionOptions options;
+  options.boosted_count = 3;
+  auto [sim, strategy] = make_sim<MultiNodeCollusion>(options);
+  EXPECT_EQ(strategy->boosted().size(), 3u);
+  EXPECT_EQ(strategy->boosting().size(), 7u);
+  for (NodeId b : strategy->boosted())
+    EXPECT_EQ(sim->collusion_role(b), CollusionRole::kBoosted);
+  for (NodeId b : strategy->boosting())
+    EXPECT_EQ(sim->collusion_role(b), CollusionRole::kBoosting);
+}
+
+TEST(Mcm, EveryBoosterTargetsOneBoostedNode) {
+  CollusionOptions options;
+  options.boosted_count = 3;
+  auto [sim, strategy] = make_sim<MultiNodeCollusion>(options);
+  std::set<NodeId> boosted(strategy->boosted().begin(),
+                           strategy->boosted().end());
+  EXPECT_EQ(strategy->links().size(), strategy->boosting().size());
+  for (const auto& [booster, target] : strategy->links()) {
+    EXPECT_TRUE(boosted.count(target));
+    EXPECT_FALSE(boosted.count(booster));
+  }
+}
+
+TEST(Mcm, NoBackRatings) {
+  CollusionOptions options;
+  options.boosted_count = 3;
+  options.ratings_per_query_cycle = 4;
+  auto [sim, strategy] = make_sim<MultiNodeCollusion>(options);
+  auto result = sim->run();
+  // Only boosting -> boosted ratings: 7 boosters x 4 x 5 qc x 3 cycles.
+  EXPECT_EQ(result.fake_ratings, 7u * 4u * 5u * 3u);
+}
+
+TEST(Mcm, BoostedCountClampedToColluders) {
+  CollusionOptions options;
+  options.boosted_count = 99;
+  auto [sim, strategy] = make_sim<MultiNodeCollusion>(options);
+  EXPECT_EQ(strategy->boosted().size(), 10u);
+  EXPECT_TRUE(strategy->boosting().empty());
+}
+
+// --- MMM ------------------------------------------------------------------------
+
+TEST(Mmm, BoostedNodesRateBack) {
+  CollusionOptions options;
+  options.boosted_count = 3;
+  options.ratings_per_query_cycle = 4;
+  options.boosted_back_ratings = 2;
+  auto [sim, strategy] = make_sim<MutualMultiNodeCollusion>(options);
+  auto result = sim->run();
+  // Forward: 7 boosters x 4; back: 7 hits x 2 — per query cycle.
+  EXPECT_EQ(result.fake_ratings, (7u * 4u + 7u * 2u) * 5u * 3u);
+}
+
+TEST(Mmm, AllColluderPairsWired) {
+  CollusionOptions options;
+  options.boosted_count = 3;
+  auto [sim, strategy] = make_sim<MutualMultiNodeCollusion>(options);
+  // Every boosting node is adjacent to every boosted node (distance 1).
+  for (NodeId booster : strategy->boosting()) {
+    for (NodeId target : strategy->boosted()) {
+      EXPECT_TRUE(sim->social_graph().adjacent(booster, target));
+    }
+  }
+}
+
+// --- compromised pretrusted -------------------------------------------------------
+
+TEST(Compromised, MarksAndWiresPretrustedConspirators) {
+  CollusionOptions options;
+  options.compromised_pretrusted = 2;
+  auto [sim, strategy] = make_sim<PairwiseCollusion>(options);
+  EXPECT_EQ(strategy->compromised().size(), 2u);
+  std::set<NodeId> colluders(sim->colluders().begin(),
+                             sim->colluders().end());
+  for (NodeId pre : strategy->compromised()) {
+    EXPECT_EQ(sim->node_type(pre), sim::NodeType::kPretrusted);
+    EXPECT_TRUE(sim->compromised(pre));
+  }
+}
+
+TEST(Compromised, EmitsExtraRatings) {
+  CollusionOptions base;
+  base.ratings_per_query_cycle = 3;
+  auto [sim_plain, s1] = make_sim<PairwiseCollusion>(base, tiny_config(), 7);
+  auto plain = sim_plain->run();
+
+  CollusionOptions comp = base;
+  comp.compromised_pretrusted = 2;
+  auto [sim_comp, s2] = make_sim<PairwiseCollusion>(comp, tiny_config(), 7);
+  auto with = sim_comp->run();
+  // Two compromised links x 2 directions x 3 ratings x 5 qc x 3 cycles.
+  EXPECT_EQ(with.fake_ratings - plain.fake_ratings, 2u * 2u * 3u * 5u * 3u);
+}
+
+TEST(Compromised, ClampedToPretrustedCount) {
+  CollusionOptions options;
+  options.compromised_pretrusted = 50;
+  auto [sim, strategy] = make_sim<PairwiseCollusion>(options);
+  EXPECT_EQ(strategy->compromised().size(), 4u);
+}
+
+// --- falsified social information ---------------------------------------------------
+
+TEST(Falsified, CollapsesToOneRelationship) {
+  CollusionOptions options;
+  options.falsify_social_info = true;
+  auto [sim, strategy] = make_sim<PairwiseCollusion>(options);
+  for (const auto& [a, b] : strategy->links()) {
+    EXPECT_EQ(sim->social_graph().relationship_count(a, b), 1u);
+  }
+}
+
+TEST(Falsified, CollusersDeclareIdenticalInterests) {
+  CollusionOptions options;
+  options.falsify_social_info = true;
+  auto [sim, strategy] = make_sim<PairwiseCollusion>(options);
+  auto first = sim->profiles().declared(sim->colluders().front());
+  std::vector<sim::InterestId> reference(first.begin(), first.end());
+  EXPECT_GE(reference.size(), 1u);
+  EXPECT_LE(reference.size(), 10u);
+  for (NodeId c : sim->colluders()) {
+    auto declared = sim->profiles().declared(c);
+    EXPECT_EQ(std::vector<sim::InterestId>(declared.begin(), declared.end()),
+              reference);
+  }
+}
+
+TEST(Falsified, DeclaredSimilarityPerfectButBehaviouralLow) {
+  // The counterattack defeats Eq. (7) (declared overlap = 1) but not the
+  // behaviour-weighted similarity, because requests still follow real
+  // interests. Run a couple of cycles so request histories exist.
+  CollusionOptions options;
+  options.falsify_social_info = true;
+  auto [sim, strategy] = make_sim<PairwiseCollusion>(options);
+  auto& profiles = sim->profiles();
+  NodeId a = strategy->links().front().first;
+  NodeId b = strategy->links().front().second;
+  EXPECT_DOUBLE_EQ(profiles.similarity(a, b), 1.0);
+  sim->run();
+  EXPECT_LT(profiles.weighted_similarity(a, b), 0.9);
+}
+
+// --- behavioural integration: every model is suppressed by SocialTrust -------------
+
+class ModelSuppression : public ::testing::TestWithParam<int> {
+ public:
+  static std::unique_ptr<sim::CollusionStrategy> make_strategy(int kind) {
+    CollusionOptions options;
+    switch (kind) {
+      case 0:
+        return std::make_unique<PairwiseCollusion>(options);
+      case 1:
+        return std::make_unique<MultiNodeCollusion>(options);
+      default:
+        return std::make_unique<MutualMultiNodeCollusion>(options);
+    }
+  }
+};
+
+TEST_P(ModelSuppression, SocialTrustReducesColluderReputation) {
+  // Attack dynamics need a medium-scale network to rise above noise.
+  sim::ExperimentConfig config;
+  config.sim.node_count = 120;
+  config.sim.pretrusted_count = 6;
+  config.sim.colluder_count = 18;
+  config.sim.colluder_authentic = 0.6;
+  config.sim.simulation_cycles = 20;
+  config.sim.query_cycles_per_cycle = 15;
+  config.runs = 2;
+  config.base_seed = 19;
+  int kind = GetParam();
+  sim::StrategyFactory strategy = [kind] { return make_strategy(kind); };
+
+  auto plain = run_experiment(config, sim::make_paper_eigentrust_factory(),
+                              strategy);
+  auto guarded = run_experiment(
+      config,
+      sim::make_socialtrust_factory(sim::make_paper_eigentrust_factory()),
+      strategy);
+  EXPECT_LT(guarded.colluder_mean.mean(), plain.colluder_mean.mean())
+      << "model kind " << kind;
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, ModelSuppression, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace st::collusion

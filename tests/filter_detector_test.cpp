@@ -1,0 +1,276 @@
+// Unit tests for the Gaussian reputation filter (Eqs. 5-9) and the B1-B4
+// suspicious-behaviour detector (Section 4.3 threshold logic).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/detector.hpp"
+#include "core/gaussian_filter.hpp"
+
+namespace st::core {
+namespace {
+
+CoefficientStats stats_of(double mean, double min, double max,
+                          double stddev) {
+  CoefficientStats s;
+  s.mean = mean;
+  s.min = min;
+  s.max = max;
+  s.stddev = stddev;
+  return s;
+}
+
+// --- Gaussian filter -----------------------------------------------------------
+
+TEST(Gaussian, PeakAtMeanEqualsAlpha) {
+  auto s = stats_of(0.5, 0.0, 1.0, 0.2);
+  EXPECT_DOUBLE_EQ(gaussian_weight(0.5, s, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(gaussian_weight(0.5, s, 0.7), 0.7);
+}
+
+TEST(Gaussian, HandComputedRangeWidth) {
+  // Eq. (6): exp(-(x - b)^2 / (2 |max-min|^2)).
+  auto s = stats_of(0.4, 0.0, 1.0, 0.25);
+  double x = 0.9;
+  double expected = std::exp(-(0.5 * 0.5) / (2.0 * 1.0 * 1.0));
+  EXPECT_NEAR(gaussian_weight(x, s, 1.0, GaussianWidth::kRange), expected,
+              1e-12);
+}
+
+TEST(Gaussian, HandComputedStdDevWidth) {
+  auto s = stats_of(0.4, 0.0, 1.0, 0.25);
+  double x = 0.9;
+  double expected = std::exp(-(0.5 * 0.5) / (2.0 * 0.25 * 0.25));
+  EXPECT_NEAR(gaussian_weight(x, s, 1.0, GaussianWidth::kStdDev), expected,
+              1e-12);
+}
+
+TEST(Gaussian, SymmetricAroundMean) {
+  auto s = stats_of(0.5, 0.0, 1.0, 0.1);
+  EXPECT_NEAR(gaussian_weight(0.3, s, 1.0), gaussian_weight(0.7, s, 1.0),
+              1e-12);
+}
+
+TEST(Gaussian, MonotoneInDeviation) {
+  auto s = stats_of(0.0, -1.0, 1.0, 0.3);
+  double last = 2.0;
+  for (double x : {0.0, 0.2, 0.5, 1.0, 2.0, 5.0}) {
+    double w = gaussian_weight(x, s, 1.0);
+    EXPECT_LT(w, last);
+    last = w;
+  }
+}
+
+TEST(Gaussian, DegenerateWidthGivesHalfExponent) {
+  auto s = stats_of(0.5, 0.5, 0.5, 0.0);
+  EXPECT_DOUBLE_EQ(gaussian_weight(0.5, s, 1.0), 1.0);
+  EXPECT_NEAR(gaussian_weight(0.9, s, 1.0), std::exp(-0.5), 1e-12);
+  EXPECT_NEAR(gaussian_weight(100.0, s, 1.0), std::exp(-0.5), 1e-12);
+}
+
+TEST(Gaussian, TwoDimensionalExponentsAdd) {
+  auto c = stats_of(0.2, 0.0, 1.0, 0.1);
+  auto s = stats_of(0.5, 0.0, 1.0, 0.2);
+  double w2 = gaussian_weight2(0.5, c, 0.9, s, 1.0);
+  double expected = gaussian_weight(0.5, c, 1.0) *
+                    gaussian_weight(0.9, s, 1.0);
+  EXPECT_NEAR(w2, expected, 1e-12);
+}
+
+TEST(Gaussian, ComponentDispatch) {
+  auto c = stats_of(0.2, 0.0, 1.0, 0.1);
+  auto s = stats_of(0.5, 0.0, 1.0, 0.2);
+  double x_c = 0.6, x_s = 0.9;
+  EXPECT_DOUBLE_EQ(
+      adjustment_weight(AdjustmentComponents::kClosenessOnly, x_c, c, x_s, s,
+                        1.0),
+      gaussian_weight(x_c, c, 1.0));
+  EXPECT_DOUBLE_EQ(
+      adjustment_weight(AdjustmentComponents::kSimilarityOnly, x_c, c, x_s,
+                        s, 1.0),
+      gaussian_weight(x_s, s, 1.0));
+  EXPECT_DOUBLE_EQ(
+      adjustment_weight(AdjustmentComponents::kCombined, x_c, c, x_s, s,
+                        1.0),
+      gaussian_weight2(x_c, c, x_s, s, 1.0));
+}
+
+TEST(Gaussian, ExtremeOutlierEssentiallyZeroUnderStdDev) {
+  // The colluder signature: closeness 20+ sigma from the norm.
+  auto s = stats_of(0.01, 0.0, 0.1, 0.02);
+  EXPECT_LT(gaussian_weight(1.0, s, 1.0, GaussianWidth::kStdDev), 1e-100);
+  // ...while the literal range width saturates (the weakness DESIGN.md
+  // documents).
+  EXPECT_GT(gaussian_weight(1.0, s, 1.0, GaussianWidth::kRange), 1e-22);
+}
+
+class GaussianAlphaProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(GaussianAlphaProperty, WeightBoundedByAlpha) {
+  auto s = stats_of(0.3, 0.0, 1.0, 0.15);
+  for (double x = -2.0; x <= 2.0; x += 0.1) {
+    double w = gaussian_weight(x, s, GetParam());
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, GetParam() + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, GaussianAlphaProperty,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0));
+
+// --- detector --------------------------------------------------------------------
+
+SocialTrustConfig detector_config() {
+  SocialTrustConfig cfg;
+  cfg.theta = 2.0;
+  cfg.positive_count_floor = 3.0;
+  cfg.negative_count_floor = 3.0;
+  cfg.low_reputation = 0.01;
+  cfg.closeness_high_factor = 2.0;
+  cfg.closeness_low_factor = 0.5;
+  cfg.similarity_high = 0.7;
+  cfg.similarity_low = 0.2;
+  return cfg;
+}
+
+PairEvidence normal_pair() {
+  PairEvidence e;
+  e.positive_count = 2.0;
+  e.negative_count = 0.0;
+  e.closeness = 0.1;
+  e.similarity = 0.4;
+  e.ratee_reputation = 0.05;
+  e.rater_closeness = stats_of(0.1, 0.0, 0.3, 0.05);
+  return e;
+}
+
+TEST(Detector, ThresholdIsMaxOfFloorAndThetaF) {
+  BehaviorDetector d(detector_config());
+  EXPECT_DOUBLE_EQ(d.positive_threshold(0.5), 3.0);   // floor wins
+  EXPECT_DOUBLE_EQ(d.positive_threshold(10.0), 20.0); // theta*F wins
+  EXPECT_DOUBLE_EQ(d.negative_threshold(4.0), 8.0);
+}
+
+TEST(Detector, QuietPairIsClean) {
+  BehaviorDetector d(detector_config());
+  EXPECT_EQ(d.classify(normal_pair(), 1.0), Behavior::kNone);
+}
+
+TEST(Detector, HighFrequencyAloneIsNotSuspicious) {
+  // Frequent ratings between socially-normal, similar nodes: no flags.
+  BehaviorDetector d(detector_config());
+  PairEvidence e = normal_pair();
+  e.positive_count = 50.0;
+  EXPECT_EQ(d.classify(e, 1.0), Behavior::kNone);
+}
+
+TEST(Detector, B1LongDistanceHighFrequency) {
+  BehaviorDetector d(detector_config());
+  PairEvidence e = normal_pair();
+  e.positive_count = 50.0;
+  e.closeness = 0.01;  // < 0.5 * mean(0.1)
+  Behavior b = d.classify(e, 1.0);
+  EXPECT_TRUE(any(b & Behavior::kB1));
+}
+
+TEST(Detector, B2CloseLowReputedTarget) {
+  BehaviorDetector d(detector_config());
+  PairEvidence e = normal_pair();
+  e.positive_count = 50.0;
+  e.closeness = 0.5;          // > 2 * mean(0.1)
+  e.ratee_reputation = 0.001; // below T_R
+  Behavior b = d.classify(e, 1.0);
+  EXPECT_TRUE(any(b & Behavior::kB2));
+}
+
+TEST(Detector, B2RequiresLowReputation) {
+  BehaviorDetector d(detector_config());
+  PairEvidence e = normal_pair();
+  e.positive_count = 50.0;
+  e.closeness = 0.5;
+  e.ratee_reputation = 0.05;  // reputable target: fine
+  Behavior b = d.classify(e, 1.0);
+  EXPECT_FALSE(any(b & Behavior::kB2));
+}
+
+TEST(Detector, B3FewCommonInterests) {
+  BehaviorDetector d(detector_config());
+  PairEvidence e = normal_pair();
+  e.positive_count = 50.0;
+  e.similarity = 0.05;  // < similarity_low
+  Behavior b = d.classify(e, 1.0);
+  EXPECT_TRUE(any(b & Behavior::kB3));
+}
+
+TEST(Detector, B4CompetitorBadMouthing) {
+  BehaviorDetector d(detector_config());
+  PairEvidence e = normal_pair();
+  e.negative_count = 50.0;
+  e.similarity = 0.9;  // > similarity_high
+  Behavior b = d.classify(e, 1.0);
+  EXPECT_TRUE(any(b & Behavior::kB4));
+}
+
+TEST(Detector, B4RequiresHighSimilarity) {
+  BehaviorDetector d(detector_config());
+  PairEvidence e = normal_pair();
+  e.negative_count = 50.0;
+  e.similarity = 0.4;
+  EXPECT_EQ(d.classify(e, 1.0), Behavior::kNone);
+}
+
+TEST(Detector, NegativeFrequencyDoesNotTriggerPositiveBehaviors) {
+  BehaviorDetector d(detector_config());
+  PairEvidence e = normal_pair();
+  e.negative_count = 50.0;
+  e.closeness = 0.001;   // would be B1 if ratings were positive
+  e.similarity = 0.05;   // would be B3
+  Behavior b = d.classify(e, 1.0);
+  EXPECT_FALSE(any(b & Behavior::kB1));
+  EXPECT_FALSE(any(b & Behavior::kB3));
+}
+
+TEST(Detector, MultipleBehaviorsCombine) {
+  BehaviorDetector d(detector_config());
+  PairEvidence e = normal_pair();
+  e.positive_count = 50.0;
+  e.negative_count = 50.0;
+  e.closeness = 0.5;
+  e.ratee_reputation = 0.001;
+  e.similarity = 0.9;
+  Behavior b = d.classify(e, 1.0);
+  EXPECT_TRUE(any(b & Behavior::kB2));
+  EXPECT_TRUE(any(b & Behavior::kB4));
+}
+
+TEST(Detector, FrequencyGateUsesSystemAverage) {
+  // The same pair is suspicious in a quiet system and normal in a busy one.
+  BehaviorDetector d(detector_config());
+  PairEvidence e = normal_pair();
+  e.positive_count = 10.0;
+  e.similarity = 0.05;
+  EXPECT_TRUE(any(d.classify(e, 1.0)));    // threshold max(3, 2) = 3
+  EXPECT_FALSE(any(d.classify(e, 20.0)));  // threshold 40
+}
+
+class DetectorThetaProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetectorThetaProperty, ExactThresholdNotFlagged) {
+  SocialTrustConfig cfg = detector_config();
+  cfg.theta = GetParam();
+  BehaviorDetector d(cfg);
+  PairEvidence e = normal_pair();
+  e.similarity = 0.0;
+  double f = 5.0;
+  e.positive_count = d.positive_threshold(f);  // exactly at threshold: not >
+  EXPECT_EQ(d.classify(e, f), Behavior::kNone);
+  e.positive_count += 1.0;
+  EXPECT_TRUE(any(d.classify(e, f)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, DetectorThetaProperty,
+                         ::testing::Values(1.5, 2.0, 3.0, 5.0));
+
+}  // namespace
+}  // namespace st::core

@@ -1,0 +1,321 @@
+// Unit tests for st::graph — SocialGraph invariants, BFS distances/paths
+// against brute force, interaction accounting, and the random generators'
+// structural properties.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <cmath>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/social_graph.hpp"
+#include "stats/rng.hpp"
+
+namespace st::graph {
+namespace {
+
+TEST(SocialGraph, StartsEmpty) {
+  SocialGraph g(5);
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.degree(v), 0u);
+    EXPECT_TRUE(g.neighbors(v).empty());
+  }
+}
+
+TEST(SocialGraph, AddRelationshipIsUndirected) {
+  SocialGraph g(4);
+  EXPECT_TRUE(g.add_relationship(0, 1, Relationship::kFriendship));
+  EXPECT_TRUE(g.adjacent(0, 1));
+  EXPECT_TRUE(g.adjacent(1, 0));
+  EXPECT_EQ(g.relationship_count(0, 1), 1u);
+  EXPECT_EQ(g.relationship_count(1, 0), 1u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(SocialGraph, DuplicateRelationshipIsNoOp) {
+  SocialGraph g(3);
+  EXPECT_TRUE(g.add_relationship(0, 1, Relationship::kKinship));
+  EXPECT_FALSE(g.add_relationship(0, 1, Relationship::kKinship));
+  EXPECT_EQ(g.relationship_count(0, 1), 1u);
+}
+
+TEST(SocialGraph, ParallelRelationshipTypesAccumulate) {
+  SocialGraph g(3);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  g.add_relationship(0, 1, Relationship::kColleague);
+  g.add_relationship(0, 1, Relationship::kKinship);
+  EXPECT_EQ(g.relationship_count(0, 1), 3u);
+  auto rels = g.relationships(0, 1);
+  std::set<Relationship> expected{Relationship::kFriendship,
+                                  Relationship::kColleague,
+                                  Relationship::kKinship};
+  EXPECT_EQ(std::set<Relationship>(rels.begin(), rels.end()), expected);
+  EXPECT_EQ(g.edge_count(), 1u);  // still one edge
+}
+
+TEST(SocialGraph, SelfRelationshipRejected) {
+  SocialGraph g(3);
+  EXPECT_FALSE(g.add_relationship(1, 1, Relationship::kFriendship));
+  EXPECT_FALSE(g.adjacent(1, 1));
+}
+
+TEST(SocialGraph, OutOfRangeThrows) {
+  SocialGraph g(3);
+  EXPECT_THROW(g.add_relationship(0, 7, Relationship::kFriendship),
+               std::out_of_range);
+  EXPECT_THROW(g.distance(0, 9), std::out_of_range);
+  EXPECT_THROW(g.record_interaction(9, 0), std::out_of_range);
+}
+
+TEST(SocialGraph, RemoveRelationship) {
+  SocialGraph g(3);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  g.add_relationship(0, 1, Relationship::kColleague);
+  EXPECT_TRUE(g.remove_relationship(0, 1, Relationship::kFriendship));
+  EXPECT_TRUE(g.adjacent(0, 1));
+  EXPECT_EQ(g.relationship_count(0, 1), 1u);
+  // Removing the last relationship removes the edge itself.
+  EXPECT_TRUE(g.remove_relationship(1, 0, Relationship::kColleague));
+  EXPECT_FALSE(g.adjacent(0, 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.remove_relationship(0, 1, Relationship::kColleague));
+}
+
+TEST(SocialGraph, NeighborsSortedAndConsistent) {
+  SocialGraph g(6);
+  g.add_relationship(3, 5, Relationship::kFriendship);
+  g.add_relationship(3, 0, Relationship::kFriendship);
+  g.add_relationship(3, 4, Relationship::kFriendship);
+  auto n = g.neighbors(3);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+  EXPECT_EQ(g.degree(3), 3u);
+}
+
+TEST(SocialGraph, InteractionAccounting) {
+  SocialGraph g(4);
+  g.record_interaction(0, 1);
+  g.record_interaction(0, 1, 2.0);
+  g.record_interaction(0, 2, 5.0);
+  EXPECT_DOUBLE_EQ(g.interaction(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(g.interaction(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(g.interaction(1, 0), 0.0);  // directed
+  EXPECT_DOUBLE_EQ(g.total_interactions(0), 8.0);
+  EXPECT_DOUBLE_EQ(g.total_interactions(1), 0.0);
+}
+
+TEST(SocialGraph, InteractionIgnoresSelfAndNonPositive) {
+  SocialGraph g(3);
+  g.record_interaction(0, 0, 5.0);
+  g.record_interaction(0, 1, 0.0);
+  g.record_interaction(0, 1, -3.0);
+  EXPECT_DOUBLE_EQ(g.total_interactions(0), 0.0);
+}
+
+TEST(SocialGraph, InteractionsDoNotRequireAdjacency) {
+  SocialGraph g(3);
+  g.record_interaction(0, 2, 4.0);
+  EXPECT_FALSE(g.adjacent(0, 2));
+  EXPECT_DOUBLE_EQ(g.interaction(0, 2), 4.0);
+}
+
+TEST(SocialGraph, CommonFriends) {
+  SocialGraph g(6);
+  // 0-2, 1-2, 0-3, 1-3, 0-1 (triangle edge should not list endpoints)
+  g.add_relationship(0, 2, Relationship::kFriendship);
+  g.add_relationship(1, 2, Relationship::kFriendship);
+  g.add_relationship(0, 3, Relationship::kFriendship);
+  g.add_relationship(1, 3, Relationship::kFriendship);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  auto common = g.common_friends(0, 1);
+  EXPECT_EQ(common, (std::vector<NodeId>{2, 3}));
+  EXPECT_TRUE(g.common_friends(2, 3).size() == 2);  // {0, 1}
+}
+
+TEST(SocialGraph, DistanceChain) {
+  SocialGraph g(5);
+  for (NodeId v = 0; v + 1 < 5; ++v)
+    g.add_relationship(v, v + 1, Relationship::kFriendship);
+  EXPECT_EQ(g.distance(0, 0).value(), 0u);
+  EXPECT_EQ(g.distance(0, 1).value(), 1u);
+  EXPECT_EQ(g.distance(0, 4).value(), 4u);
+  EXPECT_EQ(g.distance(4, 0).value(), 4u);
+}
+
+TEST(SocialGraph, DistanceRespectsHopCap) {
+  SocialGraph g(5);
+  for (NodeId v = 0; v + 1 < 5; ++v)
+    g.add_relationship(v, v + 1, Relationship::kFriendship);
+  EXPECT_FALSE(g.distance(0, 4, 3).has_value());
+  EXPECT_TRUE(g.distance(0, 3, 3).has_value());
+}
+
+TEST(SocialGraph, DistanceUnreachable) {
+  SocialGraph g(4);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  g.add_relationship(2, 3, Relationship::kFriendship);
+  EXPECT_FALSE(g.distance(0, 3).has_value());
+}
+
+TEST(SocialGraph, ShortestPathEndpointsAndAdjacency) {
+  SocialGraph g(6);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  g.add_relationship(1, 2, Relationship::kFriendship);
+  g.add_relationship(2, 5, Relationship::kFriendship);
+  g.add_relationship(0, 3, Relationship::kFriendship);
+  g.add_relationship(3, 5, Relationship::kFriendship);
+  auto path = g.shortest_path(0, 5);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->front(), 0u);
+  EXPECT_EQ(path->back(), 5u);
+  EXPECT_EQ(path->size(), 3u);  // 0-3-5 is the 2-hop route
+  for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+    EXPECT_TRUE(g.adjacent((*path)[i], (*path)[i + 1]));
+  }
+}
+
+TEST(SocialGraph, ShortestPathSelf) {
+  SocialGraph g(2);
+  auto path = g.shortest_path(1, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, std::vector<NodeId>{1});
+}
+
+/// Brute-force BFS oracle for the randomized distance comparison.
+std::optional<std::size_t> bfs_oracle(const SocialGraph& g, NodeId a,
+                                      NodeId b, std::size_t cap) {
+  if (a == b) return 0;
+  std::vector<int> dist(g.size(), -1);
+  std::queue<NodeId> q;
+  q.push(a);
+  dist[a] = 0;
+  while (!q.empty()) {
+    NodeId v = q.front();
+    q.pop();
+    if (static_cast<std::size_t>(dist[v]) >= cap) continue;
+    for (NodeId n : g.neighbors(v)) {
+      if (dist[n] != -1) continue;
+      dist[n] = dist[v] + 1;
+      if (n == b) return static_cast<std::size_t>(dist[n]);
+      q.push(n);
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(SocialGraph, DistanceMatchesOracleOnRandomGraphs) {
+  stats::Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    SocialGraph g = erdos_renyi(40, 0.08, rng);
+    for (NodeId a = 0; a < 40; a += 3) {
+      for (NodeId b = 0; b < 40; b += 5) {
+        auto got = g.distance(a, b, 4);
+        auto want = bfs_oracle(g, a, b, 4);
+        EXPECT_EQ(got, want) << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(RelationshipWeights, KinshipStrongest) {
+  EXPECT_GT(default_relationship_weight(Relationship::kKinship),
+            default_relationship_weight(Relationship::kFriendship));
+  EXPECT_GT(default_relationship_weight(Relationship::kFriendship),
+            default_relationship_weight(Relationship::kBusiness));
+}
+
+// --- generators --------------------------------------------------------------
+
+TEST(Generators, ErdosRenyiEdgeCountNearExpectation) {
+  stats::Rng rng(1);
+  const std::size_t n = 100;
+  const double p = 0.1;
+  SocialGraph g = erdos_renyi(n, p, rng);
+  double expected = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(Generators, ErdosRenyiZeroProbabilityIsEmpty) {
+  stats::Rng rng(2);
+  SocialGraph g = erdos_renyi(50, 0.0, rng);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Generators, WattsStrogatzDegreePreservedAtBetaZero) {
+  stats::Rng rng(3);
+  SocialGraph g = watts_strogatz(30, 4, 0.0, rng);
+  for (NodeId v = 0; v < 30; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(g.edge_count(), 60u);
+}
+
+TEST(Generators, WattsStrogatzRewiredKeepsEdgeCount) {
+  stats::Rng rng(4);
+  SocialGraph g = watts_strogatz(60, 6, 0.3, rng);
+  // Rewiring moves endpoints but never creates or destroys edges (modulo
+  // rare rejection exhaustion, which keeps the original edge).
+  EXPECT_EQ(g.edge_count(), 180u);
+}
+
+TEST(Generators, WattsStrogatzValidation) {
+  stats::Rng rng(5);
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(4, 4, 0.1, rng), std::invalid_argument);
+}
+
+TEST(Generators, BarabasiAlbertDegreeSumAndConnectivity) {
+  stats::Rng rng(6);
+  const std::size_t n = 200, m = 3;
+  SocialGraph g = barabasi_albert(n, m, rng);
+  // Every non-seed node attaches m edges.
+  std::size_t expected_min = (n - m - 1) * m;  // plus the seed clique
+  EXPECT_GE(g.edge_count(), expected_min);
+  // Preferential attachment yields a connected graph.
+  std::size_t reachable = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.distance(0, v, n).has_value()) ++reachable;
+  }
+  EXPECT_EQ(reachable, n);
+}
+
+TEST(Generators, BarabasiAlbertHubsExist) {
+  stats::Rng rng(7);
+  SocialGraph g = barabasi_albert(500, 2, rng);
+  std::size_t max_degree = 0;
+  for (NodeId v = 0; v < 500; ++v)
+    max_degree = std::max(max_degree, g.degree(v));
+  // Power-law degree: the biggest hub far exceeds the mean degree (4).
+  EXPECT_GT(max_degree, 20u);
+}
+
+TEST(Generators, BarabasiAlbertValidation) {
+  stats::Rng rng(8);
+  EXPECT_THROW(barabasi_albert(3, 3, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(5, 0, rng), std::invalid_argument);
+}
+
+class GeneratorSeedProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GeneratorSeedProperty, GraphsAreDeterministicPerSeed) {
+  stats::Rng rng1(GetParam()), rng2(GetParam());
+  SocialGraph a = barabasi_albert(80, 2, rng1);
+  SocialGraph b = barabasi_albert(80, 2, rng2);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId v = 0; v < 80; ++v) {
+    auto na = a.neighbors(v);
+    auto nb = b.neighbors(v);
+    ASSERT_EQ(std::vector<NodeId>(na.begin(), na.end()),
+              std::vector<NodeId>(nb.begin(), nb.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedProperty,
+                         ::testing::Values(1u, 7u, 42u, 31337u));
+
+}  // namespace
+}  // namespace st::graph

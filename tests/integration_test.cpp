@@ -1,0 +1,151 @@
+// Integration tests: end-to-end simulations at reduced scale asserting the
+// paper's qualitative orderings — the same claims the bench binaries
+// reproduce at full scale (see EXPERIMENTS.md for the mapping).
+
+#include <gtest/gtest.h>
+
+#include "collusion/models.hpp"
+#include "sim/experiment.hpp"
+#include "sim/factories.hpp"
+#include "stats/summary.hpp"
+
+namespace st {
+namespace {
+
+using collusion::CollusionOptions;
+
+sim::ExperimentConfig paper_small(double colluder_b) {
+  sim::ExperimentConfig config;
+  config.sim.node_count = 120;
+  config.sim.pretrusted_count = 6;
+  config.sim.colluder_count = 18;
+  config.sim.simulation_cycles = 25;
+  config.sim.query_cycles_per_cycle = 15;
+  config.sim.colluder_authentic = colluder_b;
+  config.runs = 2;
+  config.base_seed = 424242;
+  return config;
+}
+
+sim::StrategyFactory pcm(CollusionOptions options = {}) {
+  return [options] {
+    return std::make_unique<collusion::PairwiseCollusion>(options);
+  };
+}
+sim::StrategyFactory mmm(CollusionOptions options = {}) {
+  return [options] {
+    return std::make_unique<collusion::MutualMultiNodeCollusion>(options);
+  };
+}
+
+double boosted_mean(const sim::AggregateResult& agg) {
+  stats::Accumulator acc;
+  for (const auto& run : agg.per_run) acc.add(run.boosted_final_mean);
+  return acc.mean();
+}
+
+// Fig. 7: without collusion, malicious (low-B) nodes end with lower
+// reputation than normal nodes under both baselines.
+TEST(PaperShapes, Fig7MaliciousLowWithoutCollusion) {
+  auto config = paper_small(0.3);  // "malicious" low-B nodes, no strategy
+  for (const auto& factory :
+       {sim::make_paper_eigentrust_factory(), sim::make_ebay_factory()}) {
+    auto agg = run_experiment(config, factory, sim::StrategyFactory{});
+    EXPECT_LT(agg.colluder_mean.mean(), agg.normal_mean.mean());
+    EXPECT_GT(agg.pretrusted_mean.mean(), agg.normal_mean.mean());
+  }
+}
+
+// Fig. 8(a): PCM with B=0.6 defeats the EigenTrust baseline — colluders
+// rise far above normal nodes.
+TEST(PaperShapes, Fig8EigenTrustVulnerableToPcmB06) {
+  auto agg = run_experiment(paper_small(0.6),
+                            sim::make_paper_eigentrust_factory(), pcm());
+  EXPECT_GT(agg.colluder_mean.mean(), 3.0 * agg.normal_mean.mean());
+}
+
+// Figs. 8(c): adding SocialTrust collapses the same attack.
+TEST(PaperShapes, Fig8SocialTrustSuppressesPcmB06) {
+  auto config = paper_small(0.6);
+  auto plain = run_experiment(config, sim::make_paper_eigentrust_factory(),
+                              pcm());
+  auto guarded = run_experiment(
+      config,
+      sim::make_socialtrust_factory(sim::make_paper_eigentrust_factory()),
+      pcm());
+  EXPECT_LT(guarded.colluder_mean.mean(),
+            0.5 * plain.colluder_mean.mean());
+  // Suppressed colluders also stop attracting requests (Table 1's story).
+  EXPECT_LT(guarded.colluder_share.mean(), plain.colluder_share.mean());
+}
+
+// Fig. 9(a): at B=0.2 the EigenTrust baseline already keeps PCM colluders
+// below normal nodes.
+TEST(PaperShapes, Fig9EigenTrustCountersPcmB02) {
+  auto agg = run_experiment(paper_small(0.2),
+                            sim::make_paper_eigentrust_factory(), pcm());
+  EXPECT_LT(agg.colluder_mean.mean(), agg.normal_mean.mean());
+}
+
+// Fig. 10: compromised pretrusted nodes re-enable the attack at B=0.2,
+// and SocialTrust recovers.
+TEST(PaperShapes, Fig10CompromisedPretrusted) {
+  CollusionOptions options;
+  options.compromised_pretrusted = 4;
+  auto config = paper_small(0.2);
+  auto plain = run_experiment(config, sim::make_paper_eigentrust_factory(),
+                              pcm(options));
+  EXPECT_GT(plain.colluder_mean.mean(), 2.0 * plain.normal_mean.mean());
+  auto guarded = run_experiment(
+      config,
+      sim::make_socialtrust_factory(sim::make_paper_eigentrust_factory()),
+      pcm(options));
+  EXPECT_LT(guarded.colluder_mean.mean(),
+            0.35 * plain.colluder_mean.mean());
+}
+
+// Figs. 13/14: MMM boosts the boosted nodes under the baseline at both B
+// values; SocialTrust suppresses.
+TEST(PaperShapes, Fig13MmmBoostsAndSocialTrustSuppresses) {
+  auto config = paper_small(0.6);
+  auto plain = run_experiment(config, sim::make_paper_eigentrust_factory(),
+                              mmm());
+  auto guarded = run_experiment(
+      config,
+      sim::make_socialtrust_factory(sim::make_paper_eigentrust_factory()),
+      mmm());
+  EXPECT_GT(boosted_mean(plain), 3.0 * plain.normal_mean.mean());
+  EXPECT_LT(boosted_mean(guarded), 0.5 * boosted_mean(plain));
+}
+
+// Figs. 16-18: falsified social information does not rescue the colluders
+// against SocialTrust.
+TEST(PaperShapes, Fig16FalsifiedInfoStillSuppressed) {
+  CollusionOptions honest_info;
+  CollusionOptions falsified;
+  falsified.falsify_social_info = true;
+  auto config = paper_small(0.6);
+  auto plain = run_experiment(config, sim::make_paper_eigentrust_factory(),
+                              pcm(falsified));
+  auto guarded = run_experiment(
+      config,
+      sim::make_socialtrust_factory(sim::make_paper_eigentrust_factory()),
+      pcm(falsified));
+  EXPECT_LT(guarded.colluder_mean.mean(),
+            0.35 * plain.colluder_mean.mean());
+}
+
+// Fig. 19's premise: eBay needs (far) more cycles than EigenTrust-based
+// systems to push colluders under the epsilon.
+TEST(PaperShapes, Fig19EbayConvergesSlower) {
+  auto config = paper_small(0.2);
+  auto et = run_experiment(config, sim::make_paper_eigentrust_factory(),
+                           mmm());
+  auto ebay = run_experiment(config, sim::make_ebay_factory(), mmm());
+  double et_median = stats::percentile(et.pooled_convergence_cycles, 50);
+  double ebay_median = stats::percentile(ebay.pooled_convergence_cycles, 50);
+  EXPECT_LE(et_median, ebay_median);
+}
+
+}  // namespace
+}  // namespace st

@@ -1,0 +1,170 @@
+// Property tests for SocialTrustPlugin over randomized social state and
+// rating streams: structural invariants of the adjustment that must hold
+// for *any* input, not just the crafted fixtures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/socialtrust.hpp"
+#include "graph/generators.hpp"
+#include "reputation/ebay.hpp"
+#include "reputation/paper_eigentrust.hpp"
+#include "stats/rng.hpp"
+
+namespace st::core {
+namespace {
+
+using reputation::NodeId;
+using reputation::Rating;
+
+constexpr std::size_t kNodes = 40;
+constexpr std::size_t kCategories = 8;
+
+struct RandomWorld {
+  graph::SocialGraph graph{kNodes};
+  InterestProfiles profiles{kNodes, kCategories};
+  stats::Rng rng;
+
+  explicit RandomWorld(std::uint64_t seed) : rng(seed) {
+    graph = graph::erdos_renyi(kNodes, 0.1, rng);
+    for (NodeId v = 0; v < kNodes; ++v) {
+      auto picks =
+          rng.sample_without_replacement(kCategories, 1 + rng.index(4));
+      std::vector<reputation::InterestId> set;
+      for (std::size_t c : picks)
+        set.push_back(static_cast<reputation::InterestId>(c));
+      profiles.set_interests(v, set);
+      for (auto c : set) profiles.record_request(v, c, rng.uniform(1, 10));
+    }
+  }
+
+  std::vector<Rating> random_cycle(std::size_t count) {
+    std::vector<Rating> ratings;
+    for (std::size_t i = 0; i < count; ++i) {
+      Rating r;
+      r.rater = static_cast<NodeId>(rng.index(kNodes));
+      r.ratee = static_cast<NodeId>(rng.index(kNodes));
+      r.value = rng.bernoulli(0.8) ? 1.0 : -1.0;
+      ratings.push_back(r);
+      graph.record_interaction(r.rater, r.ratee);
+    }
+    // Inject one concentrated pair so something is usually flagged.
+    for (int k = 0; k < 60; ++k) {
+      Rating r;
+      r.rater = 0;
+      r.ratee = 1;
+      r.value = 1.0;
+      ratings.push_back(r);
+      graph.record_interaction(0, 1);
+    }
+    return ratings;
+  }
+};
+
+class PluginProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PluginProperty, AdjustmentShrinksNeverAmplifiesOrFlipsSign) {
+  RandomWorld world(GetParam());
+  SocialTrustPlugin plugin(
+      std::make_unique<reputation::EbayReputation>(kNodes), world.graph,
+      world.profiles);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto ratings = world.random_cycle(300);
+    plugin.update(ratings);
+    auto adjusted = plugin.last_adjusted();
+    ASSERT_EQ(adjusted.size(), ratings.size());
+    for (std::size_t i = 0; i < ratings.size(); ++i) {
+      // alpha = 1: |v'| <= |v| and the sign is preserved (weight > 0).
+      EXPECT_LE(std::fabs(adjusted[i].value),
+                std::fabs(ratings[i].value) + 1e-12);
+      EXPECT_GE(adjusted[i].value * ratings[i].value, -1e-300);
+      EXPECT_EQ(adjusted[i].rater, ratings[i].rater);
+      EXPECT_EQ(adjusted[i].ratee, ratings[i].ratee);
+    }
+  }
+}
+
+TEST_P(PluginProperty, ReportInvariants) {
+  RandomWorld world(GetParam());
+  SocialTrustPlugin plugin(
+      std::make_unique<reputation::EbayReputation>(kNodes), world.graph,
+      world.profiles);
+  plugin.update(world.random_cycle(400));
+  const auto& report = plugin.last_report();
+  EXPECT_LE(report.pairs_flagged, report.pairs_total);
+  EXPECT_EQ(report.flagged.size(), report.pairs_flagged);
+  EXPECT_GT(report.mean_weight, 0.0);
+  EXPECT_LE(report.mean_weight, plugin.config().alpha + 1e-12);
+  for (const auto& fp : report.flagged) {
+    EXPECT_TRUE(any(fp.behavior));
+    EXPECT_GE(fp.weight, 0.0);
+    EXPECT_LE(fp.weight, plugin.config().alpha + 1e-12);
+  }
+}
+
+TEST_P(PluginProperty, PluginEqualsInnerOnAdjustedStream) {
+  // Feeding the plugin's adjusted stream to a bare copy of the inner
+  // system must reproduce the plugin's reputations exactly — the plugin
+  // is precisely "adjust, then delegate".
+  RandomWorld world(GetParam());
+  SocialTrustPlugin plugin(
+      std::make_unique<reputation::EbayReputation>(kNodes), world.graph,
+      world.profiles);
+  reputation::EbayReputation shadow(kNodes);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    plugin.update(world.random_cycle(250));
+    auto adjusted = plugin.last_adjusted();
+    shadow.update(adjusted);
+    for (NodeId v = 0; v < kNodes; ++v) {
+      ASSERT_DOUBLE_EQ(plugin.reputation(v), shadow.reputation(v))
+          << "cycle " << cycle << " node " << v;
+    }
+  }
+}
+
+TEST_P(PluginProperty, DeterministicGivenIdenticalState) {
+  RandomWorld w1(GetParam()), w2(GetParam());
+  SocialTrustPlugin a(std::make_unique<reputation::PaperEigenTrust>(
+                          kNodes, std::vector<NodeId>{0}),
+                      w1.graph, w1.profiles);
+  SocialTrustPlugin b(std::make_unique<reputation::PaperEigenTrust>(
+                          kNodes, std::vector<NodeId>{0}),
+                      w2.graph, w2.profiles);
+  auto r1 = w1.random_cycle(300);
+  auto r2 = w2.random_cycle(300);
+  a.update(r1);
+  b.update(r2);
+  for (NodeId v = 0; v < kNodes; ++v) {
+    EXPECT_DOUBLE_EQ(a.reputation(v), b.reputation(v));
+  }
+}
+
+TEST_P(PluginProperty, GateOnlyTouchesFlaggedPairs) {
+  RandomWorld world(GetParam());
+  SocialTrustPlugin plugin(
+      std::make_unique<reputation::EbayReputation>(kNodes), world.graph,
+      world.profiles);
+  auto ratings = world.random_cycle(300);
+  plugin.update(ratings);
+  auto adjusted = plugin.last_adjusted();
+  const auto& flagged = plugin.last_report().flagged;
+  auto is_flagged = [&](NodeId rater, NodeId ratee) {
+    for (const auto& fp : flagged) {
+      if (fp.rater == rater && fp.ratee == ratee) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < ratings.size(); ++i) {
+    if (adjusted[i].value != ratings[i].value) {
+      EXPECT_TRUE(is_flagged(ratings[i].rater, ratings[i].ratee))
+          << ratings[i].rater << "->" << ratings[i].ratee;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PluginProperty,
+                         ::testing::Values(1u, 17u, 202u, 999u, 54321u));
+
+}  // namespace
+}  // namespace st::core

@@ -1,0 +1,248 @@
+// Tests for the P2P simulator, the multi-run experiment harness, and the
+// system factories — configuration validation, conservation invariants,
+// determinism, and the Section 5.1 mechanics (capacity, activity, roles).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "collusion/models.hpp"
+#include "sim/experiment.hpp"
+#include "sim/factories.hpp"
+#include "sim/simulator.hpp"
+
+namespace st::sim {
+namespace {
+
+SimConfig tiny_config() {
+  SimConfig cfg;
+  cfg.node_count = 60;
+  cfg.pretrusted_count = 4;
+  cfg.colluder_count = 10;
+  cfg.simulation_cycles = 6;
+  cfg.query_cycles_per_cycle = 10;
+  return cfg;
+}
+
+TEST(Simulator, RoleAssignmentFollowsPaperIdConvention) {
+  Simulator sim(tiny_config(), make_paper_eigentrust_factory(), nullptr, 1);
+  EXPECT_EQ(sim.pretrusted().size(), 4u);
+  EXPECT_EQ(sim.colluders().size(), 10u);
+  for (NodeId v = 0; v < 4; ++v)
+    EXPECT_EQ(sim.node_type(v), NodeType::kPretrusted);
+  for (NodeId v = 4; v < 14; ++v)
+    EXPECT_EQ(sim.node_type(v), NodeType::kColluder);
+  for (NodeId v = 14; v < 60; ++v)
+    EXPECT_EQ(sim.node_type(v), NodeType::kNormal);
+}
+
+TEST(Simulator, AuthenticityProbabilitiesPerType) {
+  SimConfig cfg = tiny_config();
+  cfg.colluder_authentic = 0.3;
+  Simulator sim(cfg, make_paper_eigentrust_factory(), nullptr, 1);
+  EXPECT_DOUBLE_EQ(sim.authentic_probability(0), 1.0);
+  EXPECT_DOUBLE_EQ(sim.authentic_probability(5), 0.3);
+  EXPECT_DOUBLE_EQ(sim.authentic_probability(30), 0.8);
+}
+
+TEST(Simulator, InterestsRespectConfiguredRange) {
+  Simulator sim(tiny_config(), make_paper_eigentrust_factory(), nullptr, 2);
+  for (NodeId v = 0; v < 60; ++v) {
+    auto ranked = sim.interest_ranking(v);
+    EXPECT_GE(ranked.size(), 1u);
+    EXPECT_LE(ranked.size(), 10u);
+    std::set<InterestId> distinct(ranked.begin(), ranked.end());
+    EXPECT_EQ(distinct.size(), ranked.size());
+    for (InterestId c : ranked) EXPECT_LT(c, 20);
+    // Ranking must match the declared profile as a set.
+    auto declared = sim.profiles().declared(v);
+    EXPECT_EQ(distinct,
+              std::set<InterestId>(declared.begin(), declared.end()));
+  }
+}
+
+TEST(Simulator, RunProducesConsistentTallies) {
+  Simulator sim(tiny_config(), make_paper_eigentrust_factory(), nullptr, 3);
+  RunResult result = sim.run();
+  EXPECT_GT(result.total_requests, 0u);
+  EXPECT_EQ(result.total_requests,
+            result.authentic_services + result.inauthentic_services);
+  EXPECT_LE(result.requests_to_colluders, result.total_requests);
+  EXPECT_LE(result.requests_to_pretrusted, result.total_requests);
+  EXPECT_EQ(result.fake_ratings, 0u);  // no strategy attached
+  EXPECT_EQ(result.final_reputation.size(), 60u);
+  EXPECT_EQ(result.colluder_history.size(), 10u);
+  for (const auto& history : result.colluder_history) {
+    EXPECT_EQ(history.size(), 6u);
+  }
+  EXPECT_EQ(result.pretrusted_mean_by_cycle.size(), 6u);
+}
+
+TEST(Simulator, ActivityBoundsRequestVolume) {
+  // Every node issues at most one request per query cycle.
+  SimConfig cfg = tiny_config();
+  Simulator sim(cfg, make_paper_eigentrust_factory(), nullptr, 4);
+  RunResult result = sim.run();
+  std::uint64_t upper =
+      cfg.node_count * cfg.query_cycles_per_cycle * cfg.simulation_cycles;
+  EXPECT_LE(result.total_requests, upper);
+  // Activity is at least 0.5, so at least ~40% of the ceiling materialises
+  // (some requests fail to find a server).
+  EXPECT_GT(result.total_requests, upper / 3);
+}
+
+TEST(Simulator, DeterministicAcrossIdenticalSeeds) {
+  RunResult a =
+      Simulator(tiny_config(), make_paper_eigentrust_factory(), nullptr, 77)
+          .run();
+  RunResult b =
+      Simulator(tiny_config(), make_paper_eigentrust_factory(), nullptr, 77)
+          .run();
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.final_reputation, b.final_reputation);
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  RunResult a =
+      Simulator(tiny_config(), make_paper_eigentrust_factory(), nullptr, 1)
+          .run();
+  RunResult b =
+      Simulator(tiny_config(), make_paper_eigentrust_factory(), nullptr, 2)
+          .run();
+  EXPECT_NE(a.final_reputation, b.final_reputation);
+}
+
+TEST(Simulator, RunIsSingleShot) {
+  Simulator sim(tiny_config(), make_paper_eigentrust_factory(), nullptr, 5);
+  sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulator, Validation) {
+  SimConfig bad = tiny_config();
+  bad.node_count = 0;
+  EXPECT_THROW(Simulator(bad, make_paper_eigentrust_factory(), nullptr, 1),
+               std::invalid_argument);
+  SimConfig crowded = tiny_config();
+  crowded.pretrusted_count = 40;
+  crowded.colluder_count = 40;
+  EXPECT_THROW(
+      Simulator(crowded, make_paper_eigentrust_factory(), nullptr, 1),
+      std::invalid_argument);
+  EXPECT_THROW(Simulator(tiny_config(), SystemFactory{}, nullptr, 1),
+               std::invalid_argument);
+}
+
+TEST(Simulator, SubmitRatingRecordsInteractionAndProfile) {
+  Simulator sim(tiny_config(), make_paper_eigentrust_factory(), nullptr, 6);
+  double before = sim.social_graph().interaction(1, 2);
+  InterestId interest = sim.interest_ranking(1).front();
+  double requests_before = sim.profiles().total_requests(1);
+  sim.submit_rating(1, 2, 1.0, interest, /*is_transaction=*/true);
+  EXPECT_DOUBLE_EQ(sim.social_graph().interaction(1, 2), before + 1.0);
+  EXPECT_DOUBLE_EQ(sim.profiles().total_requests(1), requests_before + 1.0);
+  // Fake ratings count as interactions but not as requests.
+  sim.submit_rating(1, 2, 1.0, interest, /*is_transaction=*/false);
+  EXPECT_DOUBLE_EQ(sim.social_graph().interaction(1, 2), before + 2.0);
+  EXPECT_DOUBLE_EQ(sim.profiles().total_requests(1), requests_before + 1.0);
+}
+
+TEST(Simulator, ConvergenceCycleSemantics) {
+  // A colluder whose reputation stays ~0 the whole run converges at 0; the
+  // sentinel cycles+1 marks "never converged".
+  SimConfig cfg = tiny_config();
+  cfg.colluder_authentic = 0.2;
+  Simulator sim(cfg, make_paper_eigentrust_factory(), nullptr, 7);
+  RunResult result = sim.run();
+  for (std::uint32_t c : result.colluder_convergence_cycle) {
+    EXPECT_LE(c, cfg.simulation_cycles + 1);
+  }
+}
+
+// --- experiment harness ---------------------------------------------------------
+
+TEST(Experiment, AggregatesAcrossRuns) {
+  ExperimentConfig config;
+  config.sim = tiny_config();
+  config.runs = 3;
+  config.base_seed = 9;
+  AggregateResult agg = run_experiment(
+      config, make_paper_eigentrust_factory(), StrategyFactory{});
+  EXPECT_EQ(agg.per_run.size(), 3u);
+  EXPECT_EQ(agg.mean_final_reputation.size(), 60u);
+  EXPECT_EQ(agg.ci_final_reputation.size(), 60u);
+  EXPECT_EQ(agg.colluder_share.count(), 3u);
+  EXPECT_EQ(agg.pooled_convergence_cycles.size(), 3u * 10u);
+}
+
+TEST(Experiment, DeterministicGivenBaseSeed) {
+  ExperimentConfig config;
+  config.sim = tiny_config();
+  config.runs = 2;
+  config.base_seed = 33;
+  auto a = run_experiment(config, make_paper_eigentrust_factory(),
+                          StrategyFactory{});
+  auto b = run_experiment(config, make_paper_eigentrust_factory(),
+                          StrategyFactory{});
+  EXPECT_EQ(a.mean_final_reputation, b.mean_final_reputation);
+  EXPECT_DOUBLE_EQ(a.colluder_share.mean(), b.colluder_share.mean());
+}
+
+TEST(Experiment, ParallelMatchesSequential) {
+  ExperimentConfig config;
+  config.sim = tiny_config();
+  config.runs = 4;
+  config.base_seed = 5;
+  auto sequential = run_experiment(config, make_paper_eigentrust_factory(),
+                                   StrategyFactory{}, nullptr);
+  util::ThreadPool pool(4);
+  auto parallel = run_experiment(config, make_paper_eigentrust_factory(),
+                                 StrategyFactory{}, &pool);
+  EXPECT_EQ(sequential.mean_final_reputation,
+            parallel.mean_final_reputation);
+}
+
+TEST(Experiment, RejectsZeroRuns) {
+  ExperimentConfig config;
+  config.sim = tiny_config();
+  config.runs = 0;
+  EXPECT_THROW(run_experiment(config, make_paper_eigentrust_factory(),
+                              StrategyFactory{}),
+               std::invalid_argument);
+}
+
+// --- factories ------------------------------------------------------------------
+
+TEST(Factories, NamesMatchPaperLabels) {
+  auto check = [](const SystemFactory& factory, std::string_view name) {
+    graph::SocialGraph g(10);
+    core::InterestProfiles p(10, 4);
+    auto system = factory(g, p, {0}, 10);
+    EXPECT_EQ(system->name(), name);
+    EXPECT_EQ(system->size(), 10u);
+  };
+  check(make_eigentrust_factory(), "EigenTrust");
+  check(make_paper_eigentrust_factory(), "EigenTrust");
+  check(make_ebay_factory(), "eBay");
+  check(make_socialtrust_factory(make_ebay_factory()), "eBay+SocialTrust");
+  check(make_socialtrust_factory(make_paper_eigentrust_factory()),
+        "EigenTrust+SocialTrust");
+  check(make_distributed_socialtrust_factory(make_ebay_factory(),
+                                             core::SocialTrustConfig{}, 4),
+        "eBay+SocialTrust(distributed)");
+}
+
+class StickyProperty : public ::testing::TestWithParam<bool> {};
+
+TEST_P(StickyProperty, RunCompletesUnderBothSelectionModes) {
+  SimConfig cfg = tiny_config();
+  cfg.sticky_selection = GetParam();
+  Simulator sim(cfg, make_paper_eigentrust_factory(), nullptr, 11);
+  RunResult result = sim.run();
+  EXPECT_GT(result.total_requests, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, StickyProperty, ::testing::Bool());
+
+}  // namespace
+}  // namespace st::sim

@@ -1,0 +1,473 @@
+// Unit tests for st::stats — RNG determinism, distribution shape,
+// summary/correlation/histogram math against hand-computed values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "stats/distributions.hpp"
+#include "stats/histogram.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace st::stats {
+namespace {
+
+// --- Rng -------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(123), b(124);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u32() != b.next_u32()) ++differences;
+  }
+  EXPECT_GT(differences, 28);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformU64CoversRange) {
+  Rng rng(5);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 5000; ++i) ++seen[rng.uniform_u64(0, 4)];
+  for (int count : seen) EXPECT_GT(count, 800);
+}
+
+TEST(Rng, UniformI64NegativeRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_i64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(2);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(3);
+  Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(4);
+  Accumulator acc;
+  for (int i = 0; i < 50000; ++i) acc.add(rng.exponential(2.0));
+  EXPECT_NEAR(acc.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(6);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(std::span<int>(v));
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(8);
+  auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(std::unique(sample.begin(), sample.end()), sample.end());
+  for (std::size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementClampsK) {
+  Rng rng(8);
+  auto sample = rng.sample_without_replacement(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(42);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SplitDeterministic) {
+  Rng p1(42), p2(42);
+  Rng a = p1.split(7);
+  Rng b = p2.split(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+// --- Distributions ----------------------------------------------------------
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution z(10, 1.0);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < 10; ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, RankZeroMostLikely) {
+  ZipfDistribution z(10, 1.2);
+  for (std::size_t k = 1; k < 10; ++k) EXPECT_GT(z.pmf(0), z.pmf(k));
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  ZipfDistribution z(5, 1.0);
+  Rng rng(10);
+  std::array<int, 5> counts{};
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[z(rng)];
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kN, z.pmf(k), 0.01);
+  }
+}
+
+TEST(Zipf, RejectsBadArgs) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(5, -1.0), std::invalid_argument);
+}
+
+TEST(BoundedParetoTest, StaysInRange) {
+  BoundedPareto bp(1.0, 100.0, 1.5);
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double x = bp(rng);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(BoundedParetoTest, HeavyTail) {
+  BoundedPareto bp(1.0, 1000.0, 1.0);
+  Rng rng(12);
+  int below10 = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (bp(rng) < 10.0) ++below10;
+  }
+  // For alpha=1 on [1,1000]: P(X < 10) = (1 - 10^-1)/(1 - 1000^-1) ~ 0.9.
+  EXPECT_NEAR(static_cast<double>(below10) / kN, 0.9, 0.02);
+}
+
+TEST(BoundedParetoTest, RejectsBadArgs) {
+  EXPECT_THROW(BoundedPareto(0.0, 10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(BoundedPareto(10.0, 5.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(BoundedPareto(1.0, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(Discrete, MatchesWeights) {
+  std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  DiscreteDistribution d(weights);
+  Rng rng(13);
+  std::array<int, 4> counts{};
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[d(rng)];
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kN, weights[k] / 10.0, 0.01);
+  }
+}
+
+TEST(Discrete, NormalizedProbabilities) {
+  std::vector<double> weights{2.0, 6.0};
+  DiscreteDistribution d(weights);
+  EXPECT_NEAR(d.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(d.probability(1), 0.75, 1e-12);
+}
+
+TEST(Discrete, SingleElement) {
+  std::vector<double> weights{5.0};
+  DiscreteDistribution d(weights);
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d(rng), 0u);
+}
+
+TEST(Discrete, ZeroWeightNeverSampled) {
+  std::vector<double> weights{0.0, 1.0, 0.0};
+  DiscreteDistribution d(weights);
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(d(rng), 1u);
+}
+
+TEST(Discrete, RejectsBadInput) {
+  std::vector<double> empty;
+  EXPECT_THROW(DiscreteDistribution{empty}, std::invalid_argument);
+  std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW(DiscreteDistribution{negative}, std::invalid_argument);
+  std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(DiscreteDistribution{zeros}, std::invalid_argument);
+}
+
+// --- Accumulator ------------------------------------------------------------
+
+TEST(AccumulatorTest, KnownValues) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(AccumulatorTest, MergeEqualsSequential) {
+  Accumulator whole, left, right;
+  Rng rng(16);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.normal(3.0, 1.5);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(AccumulatorTest, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(ConfidenceInterval, FiveRuns) {
+  // n=5 (paper's run count): CI = t(4, .975) * s / sqrt(5) = 2.776 s/sqrt(5)
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) acc.add(x);
+  double s = acc.stddev();
+  EXPECT_NEAR(confidence_interval95(acc), 2.776 * s / std::sqrt(5.0), 1e-9);
+}
+
+TEST(ConfidenceInterval, DegenerateCases) {
+  Accumulator acc;
+  EXPECT_EQ(confidence_interval95(acc), 0.0);
+  acc.add(1.0);
+  EXPECT_EQ(confidence_interval95(acc), 0.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 17.5);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  std::vector<double> empty;
+  EXPECT_EQ(percentile(empty, 50.0), 0.0);
+  std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 50.0), 7.0);
+}
+
+// --- Correlation ------------------------------------------------------------
+
+TEST(Correlation, PerfectLinear) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(paper_correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(linear_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+  // The paper's C is r^2, so it stays 1 for negative association.
+  EXPECT_NEAR(paper_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  Rng rng(17);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+  EXPECT_LT(paper_correlation(x, y), 0.01);
+}
+
+TEST(Correlation, ConstantSeriesIsZero) {
+  std::vector<double> x{1, 1, 1, 1};
+  std::vector<double> y{1, 2, 3, 4};
+  EXPECT_EQ(pearson(x, y), 0.0);
+  EXPECT_EQ(paper_correlation(x, y), 0.0);
+  EXPECT_EQ(linear_slope(x, y), 0.0);
+}
+
+TEST(Correlation, TooShortIsZero) {
+  std::vector<double> x{1};
+  std::vector<double> y{2};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+// --- Histogram / CDF --------------------------------------------------------
+
+TEST(HistogramTest, BasicBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.density(1), 0.5);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(HistogramTest, CumulativeReachesOne) {
+  Histogram h(0.0, 1.0, 5);
+  Rng rng(18);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  EXPECT_DOUBLE_EQ(h.cumulative(4), 1.0);
+  EXPECT_LE(h.cumulative(1), h.cumulative(3));
+}
+
+TEST(HistogramTest, BinGeometry) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_lower(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 3.5);
+}
+
+TEST(HistogramTest, RejectsBadArgs) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, StepsAndDuplicates) {
+  std::vector<double> v{3.0, 1.0, 2.0, 2.0};
+  auto cdf = empirical_cdf(v);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].cumulative, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].cumulative, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative, 1.0);
+}
+
+TEST(EmpiricalCdf, Evaluation) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  auto cdf = empirical_cdf(v);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 100.0), 1.0);
+}
+
+// --- Property sweeps (parameterised) ----------------------------------------
+
+class ZipfProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfProperty, MonotoneDecreasingPmf) {
+  ZipfDistribution z(20, GetParam());
+  for (std::size_t k = 1; k < 20; ++k) {
+    EXPECT_GE(z.pmf(k - 1), z.pmf(k) - 1e-15)
+        << "exponent=" << GetParam() << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfProperty,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 1.6, 2.0));
+
+class RngSeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedProperty, UniformStatistics) {
+  Rng rng(GetParam());
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.02);
+  EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedProperty,
+                         ::testing::Values(1u, 42u, 1337u, 0xdeadbeefu,
+                                           0xffffffffffffffffull));
+
+}  // namespace
+}  // namespace st::stats

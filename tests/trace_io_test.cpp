@@ -1,0 +1,106 @@
+// Tests for marketplace-trace CSV serialisation.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/analysis.hpp"
+#include "trace/io.hpp"
+#include "trace/marketplace.hpp"
+
+namespace st::trace {
+namespace {
+
+MarketplaceTrace small_trace() {
+  TraceConfig cfg;
+  cfg.user_count = 300;
+  cfg.transaction_count = 1500;
+  cfg.category_count = 10;
+  stats::Rng rng(5);
+  return generate_trace(cfg, rng);
+}
+
+TEST(TraceIo, CsvRoundTripPreservesAnalysis) {
+  MarketplaceTrace original = small_trace();
+  std::stringstream buffer;
+  write_transactions_csv(buffer, original);
+
+  MarketplaceTrace copy = read_transactions_csv(buffer, original.config);
+  ASSERT_EQ(copy.transactions.size(), original.transactions.size());
+  for (std::size_t i = 0; i < original.transactions.size(); ++i) {
+    EXPECT_EQ(copy.transactions[i].buyer, original.transactions[i].buyer);
+    EXPECT_EQ(copy.transactions[i].seller, original.transactions[i].seller);
+    EXPECT_EQ(copy.transactions[i].category,
+              original.transactions[i].category);
+    EXPECT_DOUBLE_EQ(copy.transactions[i].buyer_rating,
+                     original.transactions[i].buyer_rating);
+    EXPECT_EQ(copy.transactions[i].social_distance,
+              original.transactions[i].social_distance);
+  }
+  // Derived state rebuilt identically.
+  for (std::size_t u = 0; u < original.config.user_count; ++u) {
+    EXPECT_NEAR(copy.reputation[u], original.reputation[u], 1e-9);
+    EXPECT_EQ(copy.business_network_size[u],
+              original.business_network_size[u]);
+    EXPECT_EQ(copy.transactions_as_seller[u],
+              original.transactions_as_seller[u]);
+  }
+  // Distance- and category-based analyses agree (similarity-based ones
+  // differ because declared profiles are inferred from purchases only).
+  auto a = analyze_trace(original);
+  auto b = analyze_trace(copy);
+  EXPECT_NEAR(a.reputation_business_correlation,
+              b.reputation_business_correlation, 1e-9);
+  ASSERT_EQ(a.by_distance.size(), b.by_distance.size());
+  for (std::size_t d = 0; d < a.by_distance.size(); ++d) {
+    EXPECT_NEAR(a.by_distance[d].average_rating,
+                b.by_distance[d].average_rating, 1e-9);
+    EXPECT_EQ(a.by_distance[d].transactions, b.by_distance[d].transactions);
+  }
+  EXPECT_NEAR(a.top3_share, b.top3_share, 1e-9);
+}
+
+TEST(TraceIo, HeaderRequired) {
+  std::stringstream empty;
+  TraceConfig cfg;
+  cfg.user_count = 10;
+  EXPECT_THROW(read_transactions_csv(empty, cfg), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedLineRejected) {
+  std::stringstream bad(
+      "buyer,seller,category,buyer_rating,seller_rating,social_distance\n"
+      "1,2,garbage\n");
+  TraceConfig cfg;
+  cfg.user_count = 10;
+  EXPECT_THROW(read_transactions_csv(bad, cfg), std::runtime_error);
+}
+
+TEST(TraceIo, OutOfRangeIdsRejected) {
+  std::stringstream bad(
+      "buyer,seller,category,buyer_rating,seller_rating,social_distance\n"
+      "999,2,0,1,1,1\n");
+  TraceConfig cfg;
+  cfg.user_count = 10;
+  EXPECT_THROW(read_transactions_csv(bad, cfg), std::runtime_error);
+}
+
+TEST(TraceIo, ProfilesInferredFromRows) {
+  std::stringstream in(
+      "buyer,seller,category,buyer_rating,seller_rating,social_distance\n"
+      "0,1,3,2,1,1\n"
+      "0,2,4,1,2,0\n");
+  TraceConfig cfg;
+  cfg.user_count = 5;
+  cfg.category_count = 6;
+  auto trace = read_transactions_csv(in, cfg);
+  auto declared0 = trace.profiles.declared(0);
+  EXPECT_EQ(std::vector<InterestId>(declared0.begin(), declared0.end()),
+            (std::vector<InterestId>{3, 4}));
+  EXPECT_DOUBLE_EQ(trace.profiles.total_requests(0), 2.0);
+  EXPECT_DOUBLE_EQ(trace.reputation[1], 2.0);
+  EXPECT_DOUBLE_EQ(trace.reputation[0], 3.0);  // seller ratings of buyer
+}
+
+}  // namespace
+}  // namespace st::trace

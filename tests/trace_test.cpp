@@ -1,0 +1,210 @@
+// Tests for the synthetic Overstock trace generator and the Section 3
+// analysis pipelines: structural invariants, determinism, and — the point
+// of the substitution — that the generated trace reproduces the paper's
+// observed statistical shapes (O1-O6).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "stats/rng.hpp"
+#include "trace/analysis.hpp"
+#include "trace/marketplace.hpp"
+
+namespace st::trace {
+namespace {
+
+TraceConfig small_config() {
+  TraceConfig cfg;
+  cfg.user_count = 1500;
+  cfg.transaction_count = 12000;
+  cfg.category_count = 20;
+  return cfg;
+}
+
+const MarketplaceTrace& shared_trace() {
+  static MarketplaceTrace trace = [] {
+    stats::Rng rng(2024);
+    return generate_trace(small_config(), rng);
+  }();
+  return trace;
+}
+
+// --- structural invariants ------------------------------------------------------
+
+TEST(Trace, GeneratesRequestedVolume) {
+  const auto& t = shared_trace();
+  // A few transactions are dropped (no eligible seller); most survive.
+  EXPECT_GT(t.transactions.size(), t.config.transaction_count * 9 / 10);
+  EXPECT_LE(t.transactions.size(), t.config.transaction_count);
+}
+
+TEST(Trace, TransactionsAreWellFormed) {
+  const auto& t = shared_trace();
+  for (const Transaction& tx : t.transactions) {
+    EXPECT_LT(tx.buyer, t.config.user_count);
+    EXPECT_LT(tx.seller, t.config.user_count);
+    EXPECT_NE(tx.buyer, tx.seller);
+    EXPECT_LT(tx.category, t.config.category_count);
+    // Overstock rating range [-2, +2].
+    EXPECT_GE(tx.buyer_rating, -2.0);
+    EXPECT_LE(tx.buyer_rating, 2.0);
+    EXPECT_GE(tx.seller_rating, -2.0);
+    EXPECT_LE(tx.seller_rating, 2.0);
+    EXPECT_LE(tx.social_distance, 3);
+    // Buyers buy within their declared interests.
+    auto declared = t.profiles.declared(tx.buyer);
+    EXPECT_TRUE(std::binary_search(declared.begin(), declared.end(),
+                                   tx.category));
+  }
+}
+
+TEST(Trace, BusinessNetworkMatchesDistinctPartners) {
+  const auto& t = shared_trace();
+  std::vector<std::set<graph::NodeId>> partners(t.config.user_count);
+  for (const Transaction& tx : t.transactions) {
+    partners[tx.buyer].insert(tx.seller);
+    partners[tx.seller].insert(tx.buyer);
+  }
+  for (std::size_t u = 0; u < t.config.user_count; ++u) {
+    EXPECT_EQ(t.business_network_size[u], partners[u].size()) << "u=" << u;
+  }
+}
+
+TEST(Trace, ReputationEqualsAccumulatedRatings) {
+  const auto& t = shared_trace();
+  std::vector<double> rep(t.config.user_count, 0.0);
+  for (const Transaction& tx : t.transactions) {
+    rep[tx.seller] += tx.buyer_rating;
+    rep[tx.buyer] += tx.seller_rating;
+  }
+  for (std::size_t u = 0; u < t.config.user_count; ++u) {
+    EXPECT_NEAR(rep[u], t.reputation[u], 1e-9);
+  }
+}
+
+TEST(Trace, SellerTransactionCountsConsistent) {
+  const auto& t = shared_trace();
+  std::vector<std::uint32_t> sold(t.config.user_count, 0);
+  for (const Transaction& tx : t.transactions) ++sold[tx.seller];
+  for (std::size_t u = 0; u < t.config.user_count; ++u) {
+    EXPECT_EQ(sold[u], t.transactions_as_seller[u]);
+  }
+}
+
+TEST(Trace, DeterministicPerSeed) {
+  stats::Rng a(7), b(7);
+  TraceConfig cfg = small_config();
+  cfg.user_count = 400;
+  cfg.transaction_count = 2000;
+  MarketplaceTrace t1 = generate_trace(cfg, a);
+  MarketplaceTrace t2 = generate_trace(cfg, b);
+  ASSERT_EQ(t1.transactions.size(), t2.transactions.size());
+  for (std::size_t i = 0; i < t1.transactions.size(); ++i) {
+    EXPECT_EQ(t1.transactions[i].buyer, t2.transactions[i].buyer);
+    EXPECT_EQ(t1.transactions[i].seller, t2.transactions[i].seller);
+    EXPECT_EQ(t1.transactions[i].buyer_rating, t2.transactions[i].buyer_rating);
+  }
+}
+
+// --- Section 3 shape reproduction -------------------------------------------------
+
+TEST(TraceShapes, O1ReputationBusinessNetworkStronglyCoupled) {
+  // Fig. 1(a): the crawl showed C = 0.996. The generator couples them
+  // mechanically; we require a strong correlation.
+  auto analysis = analyze_trace(shared_trace());
+  EXPECT_GT(analysis.reputation_business_correlation, 0.7);
+}
+
+TEST(TraceShapes, O1TransactionsProportionalToReputation) {
+  auto analysis = analyze_trace(shared_trace());
+  EXPECT_GT(analysis.reputation_transactions_correlation, 0.55);
+}
+
+TEST(TraceShapes, O2PersonalNetworkWeaklyCoupled) {
+  // Fig. 2: C = 0.092 in the crawl — the friendship graph is generated
+  // independently of commerce, so the coupling must be far weaker than
+  // the business-network coupling.
+  auto analysis = analyze_trace(shared_trace());
+  EXPECT_LT(analysis.reputation_personal_correlation,
+            0.5 * analysis.reputation_business_correlation);
+}
+
+TEST(TraceShapes, O3O4RatingsDecayWithSocialDistance) {
+  // Fig. 3(a): average rating value decreases with distance;
+  // Fig. 3(b): average per-pair rating count decreases with distance.
+  auto analysis = analyze_trace(shared_trace());
+  ASSERT_EQ(analysis.by_distance.size(), 4u);
+  const auto& rows = analysis.by_distance;
+  EXPECT_GT(rows[0].average_rating, rows[2].average_rating);
+  EXPECT_GT(rows[0].average_frequency, rows[3].average_frequency);
+  // Most high-rated transactions occur within 3 hops (O3): the 1-3 hop
+  // rows carry a clear majority of transactions.
+  std::uint64_t near = rows[0].transactions + rows[1].transactions +
+                       rows[2].transactions;
+  std::uint64_t far = rows[3].transactions;
+  EXPECT_GT(near, far);
+}
+
+TEST(TraceShapes, O5TopCategoriesDominate) {
+  // Fig. 4(a): "the top 3 categories of products constitute about 88% of
+  // the total number of products a user bought".
+  auto analysis = analyze_trace(shared_trace());
+  ASSERT_GE(analysis.category_rank_cdf.size(), 3u);
+  EXPECT_GT(analysis.top3_share, 0.75);
+  EXPECT_LE(analysis.top3_share, 1.0);
+  // Shares decrease with rank (power-law-like).
+  for (std::size_t r = 1; r < analysis.category_rank_share.size(); ++r) {
+    EXPECT_LE(analysis.category_rank_share[r],
+              analysis.category_rank_share[r - 1] + 1e-9);
+  }
+}
+
+TEST(TraceShapes, O6TransactionsSkewTowardSimilarInterests) {
+  // Fig. 4(b): ~10% of transactions at <= 0.2 similarity, ~60% above 0.3.
+  auto analysis = analyze_trace(shared_trace());
+  EXPECT_LT(analysis.fraction_low_similarity, 0.35);
+  EXPECT_GT(analysis.fraction_above_03, 0.45);
+  EXPECT_GT(analysis.mean_pair_similarity, 0.3);
+}
+
+TEST(TraceShapes, SimilarityCdfIsMonotone) {
+  auto analysis = analyze_trace(shared_trace());
+  ASSERT_FALSE(analysis.similarity_cdf.empty());
+  double prev_x = -1.0, prev_y = 0.0;
+  for (const auto& p : analysis.similarity_cdf) {
+    EXPECT_GT(p.similarity, prev_x);
+    EXPECT_GE(p.cumulative_fraction, prev_y);
+    prev_x = p.similarity;
+    prev_y = p.cumulative_fraction;
+  }
+  EXPECT_NEAR(analysis.similarity_cdf.back().cumulative_fraction, 1.0,
+              1e-9);
+}
+
+TEST(TraceShapes, CategoryRankCdfReachesOne) {
+  auto analysis = analyze_trace(shared_trace(), /*rank_limit=*/20);
+  EXPECT_NEAR(analysis.category_rank_cdf.back(), 1.0, 0.02);
+}
+
+class TraceSeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceSeedProperty, ShapesHoldAcrossSeeds) {
+  stats::Rng rng(GetParam());
+  TraceConfig cfg = small_config();
+  cfg.user_count = 800;
+  cfg.transaction_count = 6000;
+  MarketplaceTrace trace = generate_trace(cfg, rng);
+  auto analysis = analyze_trace(trace);
+  EXPECT_GT(analysis.reputation_business_correlation, 0.6);
+  EXPECT_LT(analysis.reputation_personal_correlation,
+            analysis.reputation_business_correlation);
+  EXPECT_GT(analysis.top3_share, 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceSeedProperty,
+                         ::testing::Values(1u, 99u, 777u));
+
+}  // namespace
+}  // namespace st::trace
