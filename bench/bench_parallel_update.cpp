@@ -1,0 +1,246 @@
+// Serial-vs-parallel wall-clock of one SocialTrust reputation-update
+// interval at P2P scale, and a determinism cross-check: every thread count
+// must produce the identical AdjustmentReport.
+//
+// The workload mirrors what the simulator feeds the plugin, scaled up: a
+// small-world social graph, interest profiles with request histories, a
+// colluding clique rating at high frequency, and a background of normal
+// nodes rating social neighbours (1-hop, 2-hop, and the occasional distant
+// pair — the mix that exercises all three closeness paths of Eqs. 2-4).
+//
+// Flags:
+//   --threads <list>  comma-separated worker counts   (default 1,2,4,8)
+//   --nodes <list>    comma-separated node counts     (default 1000,10000,50000)
+//   --reps <n>        timed repetitions, min is kept  (default 3)
+//   --json <path>     also write results as JSON (the BENCH_parallel_update.json
+//                     artifact tracked in the repo)
+//   --quick           1000,5000 nodes, 2 reps
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/socialtrust.hpp"
+#include "graph/generators.hpp"
+#include "reputation/ebay.hpp"
+#include "stats/rng.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using st::core::AdjustmentReport;
+using st::core::InterestProfiles;
+using st::core::SocialTrustConfig;
+using st::core::SocialTrustPlugin;
+using st::graph::NodeId;
+using st::graph::SocialGraph;
+using st::reputation::Rating;
+
+struct Workload {
+  SocialGraph graph{1};
+  InterestProfiles profiles{1, 1};
+  std::vector<Rating> ratings;
+};
+
+/// One update interval's worth of state and ratings for `n` nodes.
+Workload make_workload(std::size_t n, st::stats::Rng& rng) {
+  Workload w;
+  w.graph = st::graph::watts_strogatz(n, 10, 0.1, rng);
+  w.profiles = InterestProfiles(n, 20);
+
+  auto rate = [&](NodeId rater, NodeId ratee, double value,
+                  std::size_t times) {
+    for (std::size_t k = 0; k < times; ++k) {
+      w.ratings.push_back(Rating{rater, ratee, value, 0, 0,
+                                 st::reputation::kNoInterest});
+      w.graph.record_interaction(rater, ratee);
+    }
+  };
+
+  // Interests + request behaviour.
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<st::reputation::InterestId> interests;
+    for (int k = 0; k < 3; ++k) {
+      interests.push_back(
+          static_cast<st::reputation::InterestId>(rng.index(20)));
+    }
+    w.profiles.set_interests(v, interests);
+    for (auto interest : interests) {
+      w.profiles.record_request(v, interest, rng.uniform(1.0, 10.0));
+    }
+  }
+
+  // Colluding clique: 1% of nodes pair up, heavy mutual positive ratings,
+  // disjoint fabricated interests — the stream the detector must flag.
+  std::size_t colluders = std::max<std::size_t>(2, n / 100) & ~std::size_t{1};
+  for (NodeId c = 0; c + 1 < colluders; c += 2) {
+    w.graph.add_relationship(c, c + 1, st::graph::Relationship::kKinship);
+    w.graph.add_relationship(c, c + 1, st::graph::Relationship::kBusiness);
+    rate(c, c + 1, 1.0, 20);
+    rate(c + 1, c, 1.0, 20);
+  }
+
+  // Normal background: every node rates two direct neighbours, one 2-hop
+  // neighbour (friend-of-friend closeness, Eq. 3), and 1% of nodes rate a
+  // distant stranger (bottleneck path, Eq. 4).
+  for (NodeId v = static_cast<NodeId>(colluders); v < n; ++v) {
+    auto neighbors = w.graph.neighbors(v);
+    if (neighbors.empty()) continue;
+    for (int k = 0; k < 2; ++k) {
+      NodeId peer = neighbors[rng.index(neighbors.size())];
+      rate(v, peer, rng.bernoulli(0.85) ? 1.0 : -1.0, 2);
+    }
+    NodeId mid = neighbors[rng.index(neighbors.size())];
+    auto second = w.graph.neighbors(mid);
+    if (!second.empty()) {
+      NodeId hop2 = second[rng.index(second.size())];
+      if (hop2 != v) rate(v, hop2, 1.0, 2);
+    }
+    if (rng.bernoulli(0.01)) {
+      rate(v, static_cast<NodeId>(rng.index(n)), 1.0, 1);
+    }
+  }
+  return w;
+}
+
+bool reports_match(const AdjustmentReport& a, const AdjustmentReport& b) {
+  return a.pairs_total == b.pairs_total &&
+         a.pairs_flagged == b.pairs_flagged &&
+         a.ratings_adjusted == b.ratings_adjusted && a.b1 == b.b1 &&
+         a.b2 == b.b2 && a.b3 == b.b3 && a.b4 == b.b4 &&
+         a.mean_weight == b.mean_weight &&
+         a.flagged.size() == b.flagged.size();
+}
+
+/// Comma-separated positive integers; unparsable tokens are skipped, in
+/// line with the forgiving strtoll behaviour of util::CliArgs.
+std::vector<std::size_t> parse_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    char* end = nullptr;
+    auto v = std::strtoull(item.c_str(), &end, 10);
+    if (end != item.c_str() && v > 0) {
+      out.push_back(static_cast<std::size_t>(v));
+    }
+  }
+  return out;
+}
+
+struct Row {
+  std::size_t nodes = 0;
+  std::size_t pairs = 0;
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  st::util::CliArgs args(argc, argv);
+  bool quick = args.has("quick");
+  auto node_counts =
+      parse_list(args.get_or("nodes", quick ? "1000,5000" : "1000,10000,50000"));
+  auto thread_counts = parse_list(args.get_or("threads", "1,2,4,8"));
+  std::size_t reps =
+      static_cast<std::size_t>(args.get_int("reps", quick ? 2 : 3));
+  std::uint64_t seed = args.get_u64("seed", 42);
+
+  std::cout << "=== bench_parallel_update ===\n"
+            << "(one SocialTrust update interval; min of " << reps
+            << " reps; hardware threads: "
+            << std::thread::hardware_concurrency() << ")\n\n";
+
+  std::vector<Row> rows;
+  for (std::size_t n : node_counts) {
+    st::stats::Rng rng(seed);
+    Workload w = make_workload(n, rng);
+    double serial_ms = 0.0;
+    AdjustmentReport serial_report;
+    for (std::size_t threads : thread_counts) {
+      SocialTrustConfig cfg;
+      cfg.threads = threads;
+      double best_ms = 0.0;
+      AdjustmentReport report;
+      std::size_t pairs = 0;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        // Fresh plugin per rep: update() also extends rater history, and
+        // timing the first interval keeps reps comparable.
+        SocialTrustPlugin plugin(
+            std::make_unique<st::reputation::EbayReputation>(n), w.graph,
+            w.profiles, cfg);
+        auto start = std::chrono::steady_clock::now();
+        plugin.update(w.ratings);
+        auto stop = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+        report = plugin.last_report();
+        pairs = report.pairs_total;
+      }
+      Row row;
+      row.nodes = n;
+      row.pairs = pairs;
+      row.threads = threads;
+      row.wall_ms = best_ms;
+      if (threads == thread_counts.front()) {
+        serial_ms = best_ms;
+        serial_report = report;
+      }
+      row.speedup = best_ms > 0.0 ? serial_ms / best_ms : 1.0;
+      row.identical = reports_match(serial_report, report);
+      rows.push_back(row);
+    }
+  }
+
+  st::util::Table table(
+      {"nodes", "pairs", "threads", "wall ms", "speedup", "identical"});
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.nodes), std::to_string(r.pairs),
+                   std::to_string(r.threads), st::util::fmt(r.wall_ms, 2),
+                   st::util::fmt(r.speedup, 2),
+                   r.identical ? "yes" : "NO (BUG)"});
+  }
+  std::cout << table.to_string() << "\n";
+
+  bool all_identical = true;
+  for (const Row& r : rows) all_identical = all_identical && r.identical;
+  if (!all_identical) {
+    std::cout << "DETERMINISM VIOLATION: reports differ across thread "
+                 "counts\n";
+  }
+
+  if (auto json_path = args.get("json"); json_path && !json_path->empty()) {
+    std::ofstream out(*json_path);
+    if (!out) {
+      std::cerr << "cannot open " << *json_path << " for writing\n";
+      return 2;
+    }
+    out << "{\n  \"bench\": \"bench_parallel_update\",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+        << ",\n  \"reports_identical_across_thread_counts\": "
+        << (all_identical ? "true" : "false") << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"nodes\": " << r.nodes << ", \"pairs\": " << r.pairs
+          << ", \"threads\": " << r.threads << ", \"wall_ms\": "
+          << st::util::fmt(r.wall_ms, 3) << ", \"speedup\": "
+          << st::util::fmt(r.speedup, 3) << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "(json: " << *json_path << ")\n";
+  }
+  return all_identical ? 0 : 1;
+}

@@ -10,6 +10,7 @@ Context::Context(int argc, char** argv, std::string bench_name)
   bool quick = args_.has("quick");
   runs_ = static_cast<std::size_t>(args_.get_int("runs", quick ? 2 : 5));
   cycles_ = static_cast<std::size_t>(args_.get_int("cycles", quick ? 20 : 50));
+  threads_ = static_cast<std::size_t>(args_.get_int("threads", 1));
   auto csv = args_.get("csv");
   if (csv && !csv->empty()) csv_dir_ = *csv;
   std::cout << "=== " << bench_name_ << " ===\n"
@@ -48,15 +49,17 @@ void Context::heading(const std::string& text) const {
   std::cout << "--- " << text << " ---\n";
 }
 
-sim::SystemFactory system_by_name(const std::string& name) {
+sim::SystemFactory system_by_name(const std::string& name,
+                                  std::size_t threads) {
   if (name == "eBay") return sim::make_ebay_factory();
   if (name == "EigenTrust") return sim::make_paper_eigentrust_factory();
   if (name == "EigenTrust(Kamvar)") return sim::make_eigentrust_factory();
   if (name == "eBay+SocialTrust")
-    return sim::make_socialtrust_factory(sim::make_ebay_factory());
+    return sim::make_socialtrust_factory(sim::make_ebay_factory(),
+                                         core::SocialTrustConfig{}, threads);
   if (name == "EigenTrust+SocialTrust")
-    return sim::make_socialtrust_factory(
-        sim::make_paper_eigentrust_factory());
+    return sim::make_socialtrust_factory(sim::make_paper_eigentrust_factory(),
+                                         core::SocialTrustConfig{}, threads);
   throw std::invalid_argument("unknown system: " + name);
 }
 
@@ -161,7 +164,7 @@ sim::AggregateResult run_panel(const Context& ctx, const std::string& panel,
                                collusion::CollusionOptions options,
                                double colluder_b) {
   auto config = ctx.paper_config(colluder_b);
-  auto agg = run_experiment(config, system_by_name(system),
+  auto agg = run_experiment(config, system_by_name(system, ctx.threads()),
                             strategy_by_name(model, options));
   print_distribution("[" + panel + "] " + system +
                          (model.empty() ? "" : " under " + model) +

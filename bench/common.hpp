@@ -12,6 +12,8 @@
 //   --cycles <n>    simulation cycles           (default 50)
 //   --csv <dir>     also write CSV files into <dir>
 //   --quick         reduced scale for smoke runs (2 runs, 20 cycles)
+//   --threads <n>   SocialTrust update-interval workers (default 1 =
+//                   serial, 0 = hardware concurrency; results identical)
 
 #include <iostream>
 #include <optional>
@@ -48,6 +50,8 @@ class Context {
 
   std::uint64_t seed() const noexcept { return seed_; }
   std::size_t runs() const noexcept { return runs_; }
+  /// SocialTrust update-interval worker count (--threads).
+  std::size_t threads() const noexcept { return threads_; }
   const util::CliArgs& args() const noexcept { return args_; }
 
  private:
@@ -56,13 +60,17 @@ class Context {
   std::uint64_t seed_;
   std::size_t runs_;
   std::size_t cycles_;
+  std::size_t threads_;
   std::optional<std::string> csv_dir_;
 };
 
 /// Named system factories matching the paper's labels. Valid names:
 /// "eBay", "EigenTrust", "eBay+SocialTrust", "EigenTrust+SocialTrust",
-/// "EigenTrust(Kamvar)". Throws on unknown names.
-sim::SystemFactory system_by_name(const std::string& name);
+/// "EigenTrust(Kamvar)". Throws on unknown names. `threads` sets the
+/// SocialTrust update-interval worker count for the +SocialTrust systems
+/// (ignored by the bare baselines).
+sim::SystemFactory system_by_name(const std::string& name,
+                                  std::size_t threads = 1);
 
 /// Strategy factory for "PCM" / "MCM" / "MMM" / "" (none).
 sim::StrategyFactory strategy_by_name(const std::string& model,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace st::core {
@@ -72,6 +73,44 @@ double ClosenessModel::closeness(const graph::SocialGraph& g,
         bottleneck, adjacent_closeness(g, (*path)[step], (*path)[step + 1]));
   }
   return std::isfinite(bottleneck) ? bottleneck : 0.0;
+}
+
+// --- ShardedClosenessCache --------------------------------------------------
+
+ShardedClosenessCache::ShardedClosenessCache()
+    : shards_(std::make_unique<Shard[]>(kShards)) {}
+
+double ShardedClosenessCache::get_or_compute(const ClosenessModel& model,
+                                             const graph::SocialGraph& g,
+                                             graph::NodeId i,
+                                             graph::NodeId j) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32U) | j;
+  Shard& shard = shards_[shard_of(key)];
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.values.find(key);
+    if (it != shard.values.end()) return it->second;
+  }
+  double value = model.closeness(g, i, j);
+  std::lock_guard lock(shard.mutex);
+  shard.values.emplace(key, value);
+  return value;
+}
+
+void ShardedClosenessCache::clear() {
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard lock(shards_[s].mutex);
+    shards_[s].values.clear();
+  }
+}
+
+std::size_t ShardedClosenessCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard lock(shards_[s].mutex);
+    total += shards_[s].values.size();
+  }
+  return total;
 }
 
 }  // namespace st::core

@@ -13,7 +13,11 @@
 // closeness along one shortest social path (bottleneck closeness, Eq. 4).
 // Unreachable pairs have closeness 0.
 
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "core/config.hpp"
 #include "graph/social_graph.hpp"
@@ -22,6 +26,12 @@ namespace st::core {
 
 /// Computes Omega_c over a SocialGraph. Stateless beyond its configuration;
 /// all social data lives in the graph.
+///
+/// Thread safety: every method is a pure read of the model's immutable
+/// configuration and of the (caller-owned) graph, so concurrent closeness()
+/// calls are safe as long as nobody mutates the graph underneath them —
+/// the contract the parallel update interval relies on. The weight_fn must
+/// itself be safe to invoke concurrently (the default is).
 class ClosenessModel {
  public:
   using RelationshipWeightFn = std::function<double(graph::Relationship)>;
@@ -55,6 +65,55 @@ class ClosenessModel {
   bool weighted_;
   double lambda_;
   RelationshipWeightFn weight_fn_;
+};
+
+/// Mutex-striped memo table for pairwise closeness values.
+///
+/// Omega_c(i,j) is expensive (BFS / friend-of-friend sums) and the update
+/// interval evaluates each active pair several times (system baseline,
+/// per-rater aggregates, detect-and-adjust), so the plugin memoises it.
+/// With the interval fanned across a thread pool the memo table becomes
+/// shared mutable state; a single map under one mutex would serialise the
+/// hot path again. Instead the key space is sharded over kShards
+/// independently-locked maps, so concurrent lookups of different pairs
+/// almost never contend.
+///
+/// Determinism: closeness is a pure function of (graph, i, j), so when two
+/// threads race on the same absent key both compute the same value and the
+/// duplicate insert is a no-op — cache contents never depend on thread
+/// interleaving. The value is computed outside the shard lock to keep BFS
+/// work out of critical sections.
+class ShardedClosenessCache {
+ public:
+  ShardedClosenessCache();
+
+  /// Cached Omega_c(i,j), computing and memoising on miss.
+  double get_or_compute(const ClosenessModel& model,
+                        const graph::SocialGraph& g, graph::NodeId i,
+                        graph::NodeId j);
+
+  /// Drops every entry (start of a new update interval: interaction
+  /// frequencies have changed, so cached values are stale).
+  void clear();
+
+  /// Total entries across shards (diagnostics/tests only; takes all locks).
+  std::size_t size() const;
+
+  static constexpr std::size_t kShards = 64;  // power of two
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, double> values;
+  };
+
+  static std::size_t shard_of(std::uint64_t key) noexcept {
+    // Multiplicative mix so raters hashing to consecutive ids spread out.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32U) &
+           (kShards - 1);
+  }
+
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace st::core

@@ -3,6 +3,7 @@
 // Section 4 of the paper in one aggregate, so experiments and ablations can
 // be expressed as config deltas.
 
+#include <cstddef>
 #include <cstdint>
 
 namespace st::core {
@@ -90,6 +91,15 @@ struct SocialTrustConfig {
   bool weighted_interests = true;
   /// Relationship scaling weight lambda in [0.5, 1] of Eq. (10).
   double lambda = 0.8;
+
+  // --- Execution ---
+  /// Worker threads for the per-interval adjustment passes (closeness/
+  /// similarity baseline collection, per-rater leave-one-out aggregates,
+  /// detect-and-adjust). 1 = serial (default), 0 = hardware concurrency,
+  /// n > 1 = a pool of n workers. The result is bit-for-bit identical for
+  /// every value: work is split into fixed-size pair blocks and reduced in
+  /// block-index order regardless of the worker count.
+  std::size_t threads = 1;
 };
 
 }  // namespace st::core

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
 namespace st::core {
 
@@ -29,6 +30,26 @@ SocialTrustPlugin::SocialTrustPlugin(
   }
   name_ = std::string(inner_->name()) + "+SocialTrust";
   rated_history_.resize(inner_->size());
+  if (effective_threads() > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(effective_threads());
+  }
+}
+
+std::size_t SocialTrustPlugin::effective_threads() const noexcept {
+  if (config_.threads != 0) return config_.threads;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void SocialTrustPlugin::run_blocks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool_) {
+    pool_->parallel_for(n, kPairBlock, fn);
+    return;
+  }
+  for (std::size_t begin = 0; begin < n; begin += kPairBlock) {
+    fn(begin, std::min(begin + kPairBlock, n));
+  }
 }
 
 // --- LooAggregate -----------------------------------------------------------
@@ -131,13 +152,8 @@ CoefficientStats robust_stats(std::vector<double>& values) {
 
 }  // namespace
 
-double SocialTrustPlugin::closeness_cached(NodeId i, NodeId j) {
-  std::uint64_t key = (static_cast<std::uint64_t>(i) << 32U) | j;
-  auto it = closeness_cache_.find(key);
-  if (it != closeness_cache_.end()) return it->second;
-  double value = closeness_model_.closeness(graph_, i, j);
-  closeness_cache_.emplace(key, value);
-  return value;
+double SocialTrustPlugin::closeness_cached(NodeId i, NodeId j) const {
+  return closeness_cache_.get_or_compute(closeness_model_, graph_, i, j);
 }
 
 double SocialTrustPlugin::similarity_of(NodeId i, NodeId j) const {
@@ -146,7 +162,7 @@ double SocialTrustPlugin::similarity_of(NodeId i, NodeId j) const {
 }
 
 SocialTrustPlugin::LooAggregate SocialTrustPlugin::aggregate_over(
-    NodeId rater, const std::vector<NodeId>& ratees, bool closeness) {
+    NodeId rater, const std::vector<NodeId>& ratees, bool closeness) const {
   LooAggregate agg;
   for (NodeId j : ratees) {
     agg.add(closeness ? closeness_cached(rater, j) : similarity_of(rater, j));
@@ -161,7 +177,8 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
   adjusted_.assign(cycle_ratings.begin(), cycle_ratings.end());
   report_ = AdjustmentReport{};
 
-  // 1. Tally pairs and extend per-rater rating history.
+  // 1. Tally pairs and extend per-rater rating history (serial: mutates
+  // rated_history_, which every later pass reads concurrently).
   PairMap pairs;
   for (std::size_t idx = 0; idx < adjusted_.size(); ++idx) {
     const Rating& r = adjusted_[idx];
@@ -183,14 +200,40 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
   }
   report_.pairs_total = pairs.size();
 
+  // Flatten to the canonical (rater, ratee) order. Hash-map iteration
+  // order is an implementation accident; sorting pins down every
+  // floating-point accumulation below and keeps report_.flagged ordered
+  // by pair key, independent of the worker count.
+  std::vector<PairWork> work;
+  work.reserve(pairs.size());
+  for (auto& [key, tally] : pairs) {
+    work.push_back(PairWork{key, std::move(tally)});
+  }
+  std::sort(work.begin(), work.end(),
+            [](const PairWork& a, const PairWork& b) {
+              return a.key.rater != b.key.rater ? a.key.rater < b.key.rater
+                                                : a.key.ratee < b.key.ratee;
+            });
+  const std::size_t n_pairs = work.size();
+
   // 2. System-average per-pair frequency F for this interval.
   double total_count = 0.0;
-  for (const auto& [key, tally] : pairs)
-    total_count += tally.positive + tally.negative;
+  for (const PairWork& w : work)
+    total_count += w.tally.positive + w.tally.negative;
   double avg_freq =
-      pairs.empty() ? 0.0 : total_count / static_cast<double>(pairs.size());
+      work.empty() ? 0.0 : total_count / static_cast<double>(n_pairs);
 
-  // 3. Gaussian baseline statistics.
+  // 3a. Pair coefficients (parallel). Each index writes only its own
+  // slot; closeness lookups go through the sharded cache.
+  std::vector<double> pair_c(n_pairs), pair_s(n_pairs);
+  run_blocks(n_pairs, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      pair_c[i] = closeness_cached(work[i].key.rater, work[i].key.ratee);
+      pair_s[i] = similarity_of(work[i].key.rater, work[i].key.ratee);
+    }
+  });
+
+  // 3b. Gaussian baseline statistics.
   // System-wide aggregates over this interval's active pairs serve either
   // as the primary baseline (BaselineSource::kSystemWide — the paper's
   // "empirical" alternative), as the hybrid's second opinion, or as the
@@ -198,85 +241,115 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
   // statistics (median centre, MAD-derived width): colluding pairs can be
   // a sizeable fraction of the interval's pairs, and with mean/stddev the
   // attack would inflate the baseline spread enough to exonerate itself.
-  std::vector<double> sys_c_values, sys_s_values;
-  sys_c_values.reserve(pairs.size());
-  sys_s_values.reserve(pairs.size());
-  for (const auto& [key, tally] : pairs) {
-    sys_c_values.push_back(closeness_cached(key.rater, key.ratee));
-    sys_s_values.push_back(similarity_of(key.rater, key.ratee));
-  }
+  std::vector<double> sys_c_values = pair_c;
+  std::vector<double> sys_s_values = pair_s;
   const CoefficientStats system_c = robust_stats(sys_c_values);
   const CoefficientStats system_s = robust_stats(sys_s_values);
 
-  // Per-rater aggregates over each rater's cumulative rated set.
+  // 3c. Per-rater aggregates over each rater's cumulative rated set
+  // (parallel over distinct raters; each rater's multiset is built by one
+  // thread, in rated_history_ order, so its contents are scheduling-free).
   const bool use_per_rater = config_.baseline != BaselineSource::kSystemWide;
-  std::unordered_map<NodeId, LooAggregate> rater_c_agg, rater_s_agg;
+  std::vector<NodeId> raters;  // sorted, unique (work is rater-sorted)
+  std::vector<LooAggregate> rater_c_agg, rater_s_agg;
   if (use_per_rater) {
-    for (const auto& [key, tally] : pairs) {
-      if (rater_c_agg.count(key.rater)) continue;
-      rater_c_agg.emplace(
-          key.rater, aggregate_over(key.rater, rated_history_[key.rater],
-                                    /*closeness=*/true));
-      rater_s_agg.emplace(
-          key.rater, aggregate_over(key.rater, rated_history_[key.rater],
-                                    /*closeness=*/false));
+    raters.reserve(n_pairs);
+    for (const PairWork& w : work) {
+      if (raters.empty() || raters.back() != w.key.rater)
+        raters.push_back(w.key.rater);
     }
+    rater_c_agg.resize(raters.size());
+    rater_s_agg.resize(raters.size());
+    run_blocks(raters.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        rater_c_agg[i] = aggregate_over(raters[i], rated_history_[raters[i]],
+                                        /*closeness=*/true);
+        rater_s_agg[i] = aggregate_over(raters[i], rated_history_[raters[i]],
+                                        /*closeness=*/false);
+      }
+    });
   }
 
-  // 4. Detect and adjust.
+  // 4. Detect and adjust (parallel). A rating index belongs to exactly
+  // one pair, so adjusted_ writes are disjoint; everything else lands in
+  // the block's own partial.
+  const std::size_t n_blocks = (n_pairs + kPairBlock - 1) / kPairBlock;
+  std::vector<BlockPartial> partials(n_blocks);
+  run_blocks(n_pairs, [&](std::size_t begin, std::size_t end) {
+    BlockPartial& part = partials[begin / kPairBlock];
+    for (std::size_t i = begin; i < end; ++i) {
+      const PairKey key = work[i].key;
+      const PairTally& tally = work[i].tally;
+
+      // Leave-one-out per-rater stats (Section 4.1's "other nodes it has
+      // rated"), falling back to the system-wide empirical baseline.
+      CoefficientStats c_stats = system_c;
+      CoefficientStats s_stats = system_s;
+      if (use_per_rater) {
+        const std::size_t ri = static_cast<std::size_t>(
+            std::lower_bound(raters.begin(), raters.end(), key.rater) -
+            raters.begin());
+        rater_c_agg[ri].without(pair_c[i], c_stats);
+        rater_s_agg[ri].without(pair_s[i], s_stats);
+      }
+
+      PairEvidence evidence;
+      evidence.positive_count = tally.positive;
+      evidence.negative_count = tally.negative;
+      evidence.closeness = pair_c[i];
+      evidence.similarity = pair_s[i];
+      evidence.ratee_reputation = inner_->reputation(key.ratee);
+      evidence.rater_closeness = c_stats;
+
+      Behavior behavior = detector_.classify(evidence, avg_freq);
+      if (any(behavior & Behavior::kB1)) ++part.b1;
+      if (any(behavior & Behavior::kB2)) ++part.b2;
+      if (any(behavior & Behavior::kB3)) ++part.b3;
+      if (any(behavior & Behavior::kB4)) ++part.b4;
+
+      bool adjust = config_.gate_on_detector ? any(behavior) : true;
+      if (!adjust) continue;
+      if (any(behavior)) ++part.pairs_flagged;
+
+      double weight =
+          adjustment_weight(config_.components, pair_c[i], c_stats,
+                            pair_s[i], s_stats, config_.alpha, config_.width);
+      if (config_.baseline == BaselineSource::kHybrid) {
+        // Hybrid: also evaluate against the system-wide baseline and keep
+        // the stronger attenuation — robust to per-rater baselines that a
+        // multi-conspirator colluder has poisoned with its own pairs.
+        weight = std::min(
+            weight, adjustment_weight(config_.components, pair_c[i],
+                                      system_c, pair_s[i], system_s,
+                                      config_.alpha, config_.width));
+      }
+      if (any(behavior)) {
+        part.flagged.push_back(
+            FlaggedPair{key.rater, key.ratee, behavior, weight});
+      }
+      for (std::size_t idx : tally.rating_indices) {
+        adjusted_[idx].value *= weight;
+        ++part.ratings_adjusted;
+        part.weight_sum += weight;
+      }
+    }
+  });
+
+  // Reduce partials in block-index order: integer counters, the
+  // floating-point weight sum (same summation tree for every worker
+  // count), and the flagged list (blocks are contiguous ranges of the
+  // sorted pair list, so concatenation stays key-ordered).
   double weight_sum = 0.0;
-  for (const auto& [key, tally] : pairs) {
-    const double pair_c = closeness_cached(key.rater, key.ratee);
-    const double pair_s = similarity_of(key.rater, key.ratee);
-
-    // Leave-one-out per-rater stats (Section 4.1's "other nodes it has
-    // rated"), falling back to the system-wide empirical baseline.
-    CoefficientStats c_stats = system_c;
-    CoefficientStats s_stats = system_s;
-    if (use_per_rater) {
-      rater_c_agg[key.rater].without(pair_c, c_stats);
-      rater_s_agg[key.rater].without(pair_s, s_stats);
-    }
-
-    PairEvidence evidence;
-    evidence.positive_count = tally.positive;
-    evidence.negative_count = tally.negative;
-    evidence.closeness = pair_c;
-    evidence.similarity = pair_s;
-    evidence.ratee_reputation = inner_->reputation(key.ratee);
-    evidence.rater_closeness = c_stats;
-
-    Behavior behavior = detector_.classify(evidence, avg_freq);
-    if (any(behavior & Behavior::kB1)) ++report_.b1;
-    if (any(behavior & Behavior::kB2)) ++report_.b2;
-    if (any(behavior & Behavior::kB3)) ++report_.b3;
-    if (any(behavior & Behavior::kB4)) ++report_.b4;
-
-    bool adjust = config_.gate_on_detector ? any(behavior) : true;
-    if (!adjust) continue;
-    if (any(behavior)) ++report_.pairs_flagged;
-
-    double weight =
-        adjustment_weight(config_.components, pair_c, c_stats, pair_s,
-                          s_stats, config_.alpha, config_.width);
-    if (config_.baseline == BaselineSource::kHybrid) {
-      // Hybrid: also evaluate against the system-wide baseline and keep
-      // the stronger attenuation — robust to per-rater baselines that a
-      // multi-conspirator colluder has poisoned with its own pairs.
-      weight = std::min(
-          weight, adjustment_weight(config_.components, pair_c, system_c,
-                                    pair_s, system_s, config_.alpha,
-                                    config_.width));
-    }
-    if (any(behavior)) {
-      report_.flagged.push_back(
-          FlaggedPair{key.rater, key.ratee, behavior, weight});
-    }
-    for (std::size_t idx : tally.rating_indices) {
-      adjusted_[idx].value *= weight;
-      ++report_.ratings_adjusted;
-      weight_sum += weight;
-    }
+  for (const BlockPartial& part : partials) {
+    report_.pairs_flagged += part.pairs_flagged;
+    report_.ratings_adjusted += part.ratings_adjusted;
+    report_.b1 += part.b1;
+    report_.b2 += part.b2;
+    report_.b3 += part.b3;
+    report_.b4 += part.b4;
+    weight_sum += part.weight_sum;
+    report_.flagged.insert(report_.flagged.end(), part.flagged.begin(),
+                           part.flagged.end());
   }
   report_.mean_weight = report_.ratings_adjusted > 0
                             ? weight_sum /

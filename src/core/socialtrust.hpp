@@ -14,6 +14,16 @@
 // and "eBay + SocialTrust" are literally `SocialTrustPlugin(EigenTrust)` /
 // `SocialTrustPlugin(EbayReputation)` — the construction the evaluation
 // section compares.
+//
+// Parallel execution: with SocialTrustConfig::threads != 1 the three
+// per-pair passes of update() (baseline coefficient collection, per-rater
+// leave-one-out aggregates, detect-and-adjust) fan across a ThreadPool in
+// fixed-size blocks of the pair list sorted by (rater, ratee). Per-block
+// partial results (report counters, weight sum, flagged pairs) are reduced
+// in block-index order, and block boundaries depend only on the pair count
+// — never on the worker count — so the outcome is bit-for-bit identical
+// for every `threads` value, serial included. See DESIGN.md, "Parallel
+// update interval".
 
 #include <memory>
 #include <string>
@@ -26,6 +36,7 @@
 #include "core/similarity.hpp"
 #include "reputation/ledger.hpp"
 #include "reputation/reputation_system.hpp"
+#include "util/thread_pool.hpp"
 
 namespace st::core {
 
@@ -78,14 +89,14 @@ class SocialTrustPlugin final : public reputation::ReputationSystem {
     return adjusted_;
   }
 
- private:
-  struct PairTally {
-    double positive = 0.0;
-    double negative = 0.0;
-    std::vector<std::size_t> rating_indices;  // into the interval's stream
-  };
-  using PairMap = std::unordered_map<reputation::PairKey, PairTally,
-                                     reputation::PairKeyHash>;
+  /// Worker count the update interval actually runs with (the config knob
+  /// with 0 resolved to hardware concurrency).
+  std::size_t effective_threads() const noexcept;
+
+  /// Pair-block grain of the parallel passes. A fixed constant — not a
+  /// function of the worker count — so the block reduction tree, and with
+  /// it every floating-point sum, is identical for every `threads` value.
+  static constexpr std::size_t kPairBlock = 128;
 
   /// Multiset aggregate supporting O(1) leave-one-out statistics: tracking
   /// the two smallest and two largest values lets us remove any single
@@ -109,11 +120,43 @@ class SocialTrustPlugin final : public reputation::ReputationSystem {
     CoefficientStats full() const noexcept;
   };
 
-  double closeness_cached(reputation::NodeId i, reputation::NodeId j);
+ private:
+  struct PairTally {
+    double positive = 0.0;
+    double negative = 0.0;
+    std::vector<std::size_t> rating_indices;  // into the interval's stream
+  };
+  /// One active pair of the interval, sorted by (rater, ratee) — the
+  /// canonical order every pass iterates in and report_.flagged keeps.
+  struct PairWork {
+    reputation::PairKey key;
+    PairTally tally;
+  };
+  using PairMap = std::unordered_map<reputation::PairKey, PairTally,
+                                     reputation::PairKeyHash>;
+
+  /// Per-block partial of the detect-and-adjust pass; reduced into
+  /// report_ in block-index order so counters and the floating-point
+  /// weight sum never depend on thread scheduling.
+  struct BlockPartial {
+    std::size_t pairs_flagged = 0;
+    std::size_t ratings_adjusted = 0;
+    std::size_t b1 = 0, b2 = 0, b3 = 0, b4 = 0;
+    double weight_sum = 0.0;
+    std::vector<FlaggedPair> flagged;
+  };
+
+  double closeness_cached(reputation::NodeId i, reputation::NodeId j) const;
   double similarity_of(reputation::NodeId i, reputation::NodeId j) const;
   LooAggregate aggregate_over(reputation::NodeId rater,
                               const std::vector<reputation::NodeId>& ratees,
-                              bool closeness);
+                              bool closeness) const;
+
+  /// Runs fn(begin, end) over kPairBlock-sized blocks of [0, n): serially
+  /// in block order when the plugin is single-threaded, across the pool
+  /// otherwise. fn must only touch per-index or per-block state.
+  void run_blocks(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
 
   std::unique_ptr<reputation::ReputationSystem> inner_;
   const graph::SocialGraph& graph_;
@@ -123,12 +166,18 @@ class SocialTrustPlugin final : public reputation::ReputationSystem {
   BehaviorDetector detector_;
   std::string name_;
 
+  /// Workers for the update-interval passes; null when threads == 1 (the
+  /// serial path shares the exact same blocked code, minus the pool).
+  std::unique_ptr<util::ThreadPool> pool_;
+
   /// Cumulative per-rater rated sets (sorted); the population over which
   /// the per-rater Gaussian statistics are computed.
   std::vector<std::vector<reputation::NodeId>> rated_history_;
 
-  // Per-update scratch (cleared each call).
-  std::unordered_map<std::uint64_t, double> closeness_cache_;
+  // Per-update scratch (cleared each call). The closeness memo is mutable
+  // because closeness_cached() is a logically-const read shared by the
+  // concurrent passes; the sharded cache makes it physically thread-safe.
+  mutable ShardedClosenessCache closeness_cache_;
   std::vector<reputation::Rating> adjusted_;
   AdjustmentReport report_;
 };

@@ -41,6 +41,13 @@ SystemFactory make_socialtrust_factory(SystemFactory inner,
   };
 }
 
+SystemFactory make_socialtrust_factory(SystemFactory inner,
+                                       core::SocialTrustConfig config,
+                                       std::size_t threads) {
+  config.threads = threads;
+  return make_socialtrust_factory(std::move(inner), config);
+}
+
 SystemFactory make_distributed_socialtrust_factory(
     SystemFactory inner, core::SocialTrustConfig config,
     std::size_t manager_count) {

@@ -29,6 +29,14 @@ SystemFactory make_ebay_factory();
 SystemFactory make_socialtrust_factory(SystemFactory inner,
                                        core::SocialTrustConfig config = {});
 
+/// As above with the update-interval worker count overridden — the hook
+/// bench binaries use to plumb --threads without respelling the whole
+/// config (1 = serial, 0 = hardware concurrency; results are identical
+/// either way, only wall-clock changes).
+SystemFactory make_socialtrust_factory(SystemFactory inner,
+                                       core::SocialTrustConfig config,
+                                       std::size_t threads);
+
 /// Wraps the system produced by `inner` in the distributed
 /// resource-manager execution of SocialTrust.
 SystemFactory make_distributed_socialtrust_factory(

@@ -1,14 +1,26 @@
 #pragma once
-// Fixed-size RAII thread pool for fanning out independent simulation runs.
+// Fixed-size RAII thread pool for fanning out independent simulation runs
+// and the intra-interval passes of the SocialTrust plugin.
 //
 // The experiment harness repeats every configuration 5 times with distinct
 // RNG streams (paper Section 5.1); runs share no mutable state, so they map
 // onto a plain task pool. The pool follows the C++ Core Guidelines
 // concurrency rules: joins in the destructor (CP.23-style), tasks own their
 // data, results come back through futures.
+//
+// Two parallel_for shapes are provided:
+//   * parallel_for(n, fn)        — one task per index; right for coarse
+//     work items (whole simulation runs).
+//   * parallel_for(n, grain, fn) — one task per contiguous block of up to
+//     `grain` indices, fn(begin, end); right for fine-grained loops (the
+//     per-pair passes of a reputation-update interval) where a future per
+//     index would cost more than the work itself. Block boundaries depend
+//     only on (n, grain) — never on the worker count — so callers can build
+//     deterministic reductions on top of the block structure.
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -32,7 +44,12 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
-  /// Enqueues a callable; returns a future for its result.
+  /// Drains outstanding tasks and joins all workers; afterwards submit()
+  /// and parallel_for() throw. Idempotent; also called by the destructor.
+  void shutdown();
+
+  /// Enqueues a callable; returns a future for its result. Throws
+  /// std::runtime_error after shutdown().
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -50,7 +67,8 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Exceptions from tasks propagate out of this call (first one wins).
+  /// Every task finishes before this returns, even on error; the first
+  /// exception (lowest index) is then rethrown.
   template <typename F>
   void parallel_for(std::size_t n, F&& fn) {
     std::vector<std::future<void>> futures;
@@ -58,11 +76,49 @@ class ThreadPool {
     for (std::size_t i = 0; i < n; ++i) {
       futures.push_back(submit([&fn, i] { fn(i); }));
     }
-    for (auto& f : futures) f.get();
+    join_all(futures);
+  }
+
+  /// Blocked variant: runs fn(begin, end) over contiguous index blocks of
+  /// up to `grain` indices covering [0, n). A single-block range executes
+  /// inline on the calling thread, so tiny loops pay no future overhead.
+  /// Same completion/exception contract as the per-index overload.
+  template <typename F>
+  void parallel_for(std::size_t n, std::size_t grain, F&& fn) {
+    static_assert(std::is_invocable_v<F&, std::size_t, std::size_t>,
+                  "blocked parallel_for needs fn(begin, end)");
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    if (n <= grain) {
+      fn(0, n);
+      return;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve((n + grain - 1) / grain);
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+      std::size_t end = std::min(begin + grain, n);
+      futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+    }
+    join_all(futures);
   }
 
  private:
   void worker_loop();
+
+  /// Waits for every future, then rethrows the first stored exception.
+  /// Waiting on all of them before propagating keeps the caller's closure
+  /// alive until no queued task can still reference it.
+  static void join_all(std::vector<std::future<void>>& futures) {
+    std::exception_ptr first;
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -1,0 +1,239 @@
+// Stress coverage for st::util::ThreadPool — the substrate the parallel
+// update interval fans out on — and for the LooAggregate leave-one-out
+// statistics whose min2/max2 bookkeeping the parallel reduction depends on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/socialtrust.hpp"
+#include "util/thread_pool.hpp"
+
+namespace st::util {
+namespace {
+
+// --- blocked parallel_for ---------------------------------------------------
+
+TEST(ThreadPoolGrain, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000, kGrain = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<bool> bad_block{false};
+  pool.parallel_for(kN, kGrain, [&](std::size_t begin, std::size_t end) {
+    if (begin % kGrain != 0 || end <= begin ||
+        (end - begin != kGrain && end != kN)) {
+      bad_block = true;
+    }
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_FALSE(bad_block) << "block boundaries must be multiples of grain";
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolGrain, SingleBlockRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  std::thread::id executed_on;
+  pool.parallel_for(10, 64, [&](std::size_t begin, std::size_t end) {
+    executed_on = std::this_thread::get_id();
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+  });
+  EXPECT_EQ(executed_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolGrain, EmptyRangeNeverInvokes) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, 16, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolGrain, ZeroGrainDegeneratesToPerIndexBlocks) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(9);
+  pool.parallel_for(9, 0, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(end, begin + 1);
+    ++hits[begin];
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolGrain, ExceptionPropagatesAfterAllBlocksFinish) {
+  ThreadPool pool(4);
+  std::atomic<int> blocks_run{0};
+  try {
+    pool.parallel_for(512, 32, [&](std::size_t begin, std::size_t) {
+      ++blocks_run;
+      if (begin == 128) throw std::runtime_error("block128");
+    });
+    FAIL() << "expected propagation";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "block128");
+  }
+  // Every block still executed: a failing block must not strand the rest
+  // of the interval half-processed.
+  EXPECT_EQ(blocks_run.load(), 512 / 32);
+}
+
+// --- exception ordering / shutdown ------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForFirstExceptionWins) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      ++ran;
+      throw std::runtime_error("task" + std::to_string(i));
+    });
+    FAIL() << "expected propagation";
+  } catch (const std::runtime_error& e) {
+    // Futures are drained in index order, so the surviving exception is
+    // the lowest-index one regardless of scheduling.
+    EXPECT_STREQ(e.what(), "task0");
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  EXPECT_THROW(pool.parallel_for(4, [](std::size_t) {}),
+               std::runtime_error);
+  // Multi-block ranges go through submit and must throw too.
+  EXPECT_THROW(
+      pool.parallel_for(128, 16, [](std::size_t, std::size_t) {}),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsAndIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 100);
+  pool.shutdown();  // no-op
+  for (auto& f : futures) f.get();
+}
+
+TEST(ThreadPoolTest, TenThousandTaskChurn) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(10000, [&sum](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 10000ULL * 9999ULL / 2ULL);
+  // And the same churn through the blocked overload.
+  std::atomic<std::uint64_t> sum2{0};
+  pool.parallel_for(10000, 7, [&sum2](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) sum2 += i;
+  });
+  EXPECT_EQ(sum2.load(), 10000ULL * 9999ULL / 2ULL);
+}
+
+}  // namespace
+}  // namespace st::util
+
+// --- LooAggregate -----------------------------------------------------------
+
+namespace st::core {
+namespace {
+
+using Loo = SocialTrustPlugin::LooAggregate;
+
+TEST(LooAggregate, EmptyAndSingletonHaveNoLeaveOneOut) {
+  Loo agg;
+  CoefficientStats out;
+  EXPECT_FALSE(agg.without(1.0, out));
+  agg.add(3.0);
+  EXPECT_FALSE(agg.without(3.0, out));
+  CoefficientStats full = agg.full();
+  EXPECT_DOUBLE_EQ(full.mean, 3.0);
+  EXPECT_DOUBLE_EQ(full.min, 3.0);
+  EXPECT_DOUBLE_EQ(full.max, 3.0);
+  EXPECT_DOUBLE_EQ(full.stddev, 0.0);
+}
+
+TEST(LooAggregate, TwoElements) {
+  Loo agg;
+  agg.add(2.0);
+  agg.add(7.0);
+  CoefficientStats out;
+  ASSERT_TRUE(agg.without(2.0, out));
+  EXPECT_DOUBLE_EQ(out.mean, 7.0);
+  EXPECT_DOUBLE_EQ(out.min, 7.0);
+  EXPECT_DOUBLE_EQ(out.max, 7.0);
+  EXPECT_DOUBLE_EQ(out.stddev, 0.0);
+  ASSERT_TRUE(agg.without(7.0, out));
+  EXPECT_DOUBLE_EQ(out.min, 2.0);
+  EXPECT_DOUBLE_EQ(out.max, 2.0);
+}
+
+TEST(LooAggregate, DuplicateExtremesSurviveRemoval) {
+  // {1, 1, 5, 5}: removing one copy of an extreme must keep the other.
+  Loo agg;
+  for (double v : {1.0, 1.0, 5.0, 5.0}) agg.add(v);
+  CoefficientStats out;
+  ASSERT_TRUE(agg.without(1.0, out));
+  EXPECT_DOUBLE_EQ(out.min, 1.0);
+  EXPECT_DOUBLE_EQ(out.max, 5.0);
+  EXPECT_DOUBLE_EQ(out.mean, 11.0 / 3.0);
+  ASSERT_TRUE(agg.without(5.0, out));
+  EXPECT_DOUBLE_EQ(out.min, 1.0);
+  EXPECT_DOUBLE_EQ(out.max, 5.0);
+}
+
+TEST(LooAggregate, LoneExtremeRemovalFallsBackToSecond) {
+  Loo agg;
+  for (double v : {1.0, 2.0, 5.0}) agg.add(v);
+  CoefficientStats out;
+  ASSERT_TRUE(agg.without(5.0, out));
+  EXPECT_DOUBLE_EQ(out.max, 2.0);
+  EXPECT_DOUBLE_EQ(out.min, 1.0);
+  ASSERT_TRUE(agg.without(1.0, out));
+  EXPECT_DOUBLE_EQ(out.min, 2.0);
+  EXPECT_DOUBLE_EQ(out.max, 5.0);
+  ASSERT_TRUE(agg.without(2.0, out));
+  EXPECT_DOUBLE_EQ(out.min, 1.0);
+  EXPECT_DOUBLE_EQ(out.max, 5.0);
+}
+
+TEST(LooAggregate, MatchesDirectRecomputation) {
+  // Pseudo-random multiset; leave-one-out via the aggregate must match a
+  // from-scratch recomputation over the remaining values.
+  std::vector<double> values;
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 50; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    values.push_back(static_cast<double>(state >> 40U) / 1e6);
+  }
+  Loo agg;
+  for (double v : values) agg.add(v);
+  for (double removed : values) {
+    CoefficientStats out;
+    ASSERT_TRUE(agg.without(removed, out));
+    std::vector<double> rest = values;
+    rest.erase(std::find(rest.begin(), rest.end(), removed));
+    double sum = 0.0;
+    for (double v : rest) sum += v;
+    double mean = sum / static_cast<double>(rest.size());
+    double var = 0.0;
+    for (double v : rest) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(rest.size());
+    EXPECT_NEAR(out.mean, mean, 1e-9);
+    EXPECT_NEAR(out.stddev, std::sqrt(var), 1e-6);
+    EXPECT_DOUBLE_EQ(out.min, *std::min_element(rest.begin(), rest.end()));
+    EXPECT_DOUBLE_EQ(out.max, *std::max_element(rest.begin(), rest.end()));
+  }
+}
+
+}  // namespace
+}  // namespace st::core
