@@ -3,10 +3,21 @@
 // similarity (Eq. 7 / behaviour-weighted / literal Eq. 11), the Gaussian
 // filter, reputation-system updates, and one full SocialTrust plugin
 // interval at the paper's scale.
+//
+// Accepts the shared observability flags (--obs / --obs-out <path.jsonl>)
+// on top of google-benchmark's own: with --obs the plugin-interval
+// benchmark exercises the instrumented path, which is how the per-site
+// cost of the obs layer shows up in BM_SocialTrustInterval.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "core/closeness.hpp"
+#include "obs/obs.hpp"
 #include "core/gaussian_filter.hpp"
 #include "core/similarity.hpp"
 #include "core/socialtrust.hpp"
@@ -186,4 +197,36 @@ BENCHMARK(BM_SocialTrustInterval)->Arg(5000)->Arg(20000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the shared observability flags
+// are peeled off before google-benchmark parses the command line (it
+// rejects flags it does not know), and the obs layer is configured from
+// them.
+int main(int argc, char** argv) {
+  st::obs::StObsConfig obs_cfg;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--obs") {
+      obs_cfg.enabled = true;
+    } else if (arg == "--obs-out" && i + 1 < argc) {
+      obs_cfg.enabled = true;
+      obs_cfg.jsonl_path = argv[++i];
+    } else if (arg.rfind("--obs-out=", 0) == 0) {
+      obs_cfg.enabled = true;
+      obs_cfg.jsonl_path = std::string(arg.substr(std::strlen("--obs-out=")));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  st::obs::Obs::instance().configure(obs_cfg);
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

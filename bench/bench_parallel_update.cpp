@@ -15,8 +15,18 @@
 //   --json <path>     also write results as JSON (the BENCH_parallel_update.json
 //                     artifact tracked in the repo)
 //   --quick           1000,5000 nodes, 2 reps
+//   --obs             additionally measure the obs-layer overhead: each
+//                     workload is re-run with instrumentation disabled and
+//                     enabled, the wall-clock delta is reported, and the
+//                     adjusted ratings / flagged sets / reputations are
+//                     compared bit-for-bit (they must be identical — the
+//                     obs layer is observation-only; docs/OBSERVABILITY.md)
+//   --obs-out <path>  as --obs, streaming the enabled runs' interval
+//                     events to <path> as JSONL
 
+#include <bit>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -27,6 +37,7 @@
 
 #include "core/socialtrust.hpp"
 #include "graph/generators.hpp"
+#include "obs/obs.hpp"
 #include "reputation/ebay.hpp"
 #include "stats/rng.hpp"
 #include "util/cli.hpp"
@@ -143,6 +154,91 @@ struct Row {
   bool identical = true;
 };
 
+// --- --obs overhead section -------------------------------------------------
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Everything one instrumentation state produces that the determinism
+/// contract covers: the adjusted rating stream, the flagged set (inside
+/// the report), and the wrapped system's reputations.
+struct ObsRun {
+  double best_ms = 0.0;
+  AdjustmentReport report;
+  std::vector<Rating> adjusted;
+  std::vector<double> reputations;
+};
+
+ObsRun run_with_obs_state(const Workload& w, std::size_t n,
+                          std::size_t threads, std::size_t reps,
+                          bool enabled, const std::string& jsonl_path) {
+  st::obs::StObsConfig obs_cfg;
+  obs_cfg.enabled = enabled;
+  if (enabled) obs_cfg.jsonl_path = jsonl_path;
+  st::obs::Obs::instance().configure(obs_cfg);
+
+  SocialTrustConfig cfg;
+  cfg.threads = threads;
+  ObsRun result;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    SocialTrustPlugin plugin(
+        std::make_unique<st::reputation::EbayReputation>(n), w.graph,
+        w.profiles, cfg);
+    auto start = std::chrono::steady_clock::now();
+    plugin.update(w.ratings);
+    auto stop = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (rep == 0 || ms < result.best_ms) result.best_ms = ms;
+    result.report = plugin.last_report();
+    result.adjusted.assign(plugin.last_adjusted().begin(),
+                           plugin.last_adjusted().end());
+    result.reputations.assign(plugin.reputations().begin(),
+                              plugin.reputations().end());
+  }
+  return result;
+}
+
+/// Bit-for-bit identity across instrumentation states — stricter than
+/// reports_match: every adjusted rating value, every flagged pair's
+/// weight, and every reputation must have identical bit patterns.
+bool obs_runs_identical(const ObsRun& a, const ObsRun& b) {
+  if (!reports_match(a.report, b.report)) return false;
+  if (a.adjusted.size() != b.adjusted.size()) return false;
+  for (std::size_t i = 0; i < a.adjusted.size(); ++i) {
+    const Rating& x = a.adjusted[i];
+    const Rating& y = b.adjusted[i];
+    if (x.rater != y.rater || x.ratee != y.ratee || x.cycle != y.cycle ||
+        x.query_cycle != y.query_cycle || x.interest != y.interest ||
+        !bits_equal(x.value, y.value)) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.report.flagged.size(); ++i) {
+    const auto& x = a.report.flagged[i];
+    const auto& y = b.report.flagged[i];
+    if (x.rater != y.rater || x.ratee != y.ratee ||
+        x.behavior != y.behavior || !bits_equal(x.weight, y.weight)) {
+      return false;
+    }
+  }
+  if (a.reputations.size() != b.reputations.size()) return false;
+  for (std::size_t i = 0; i < a.reputations.size(); ++i) {
+    if (!bits_equal(a.reputations[i], b.reputations[i])) return false;
+  }
+  return true;
+}
+
+struct ObsRow {
+  std::size_t nodes = 0;
+  std::size_t threads = 0;
+  double off_ms = 0.0;
+  double on_ms = 0.0;
+  double overhead_pct = 0.0;
+  bool identical = true;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,6 +315,56 @@ int main(int argc, char** argv) {
                  "counts\n";
   }
 
+  // --obs: enabled-vs-disabled overhead, with a bit-identity cross-check.
+  std::vector<ObsRow> obs_rows;
+  bool obs_identical = true;
+  const std::string obs_out = args.get_or("obs-out", "");
+  if (args.has("obs") || !obs_out.empty()) {
+    std::cout << "--- observability overhead (off vs on; min of " << reps
+              << " reps) ---\n";
+    for (std::size_t n : node_counts) {
+      st::stats::Rng rng(seed);
+      Workload w = make_workload(n, rng);
+      for (std::size_t threads : thread_counts) {
+        ObsRun off = run_with_obs_state(w, n, threads, reps,
+                                        /*enabled=*/false, "");
+        ObsRun on = run_with_obs_state(w, n, threads, reps,
+                                       /*enabled=*/true, obs_out);
+        ObsRow row;
+        row.nodes = n;
+        row.threads = threads;
+        row.off_ms = off.best_ms;
+        row.on_ms = on.best_ms;
+        row.overhead_pct = off.best_ms > 0.0
+                               ? (on.best_ms - off.best_ms) / off.best_ms *
+                                     100.0
+                               : 0.0;
+        row.identical = obs_runs_identical(off, on);
+        obs_identical = obs_identical && row.identical;
+        obs_rows.push_back(row);
+      }
+    }
+    st::obs::Obs::instance().configure({});  // leave the process clean
+
+    st::util::Table obs_table({"nodes", "threads", "obs off ms", "obs on ms",
+                               "overhead", "bit-identical"});
+    for (const ObsRow& r : obs_rows) {
+      obs_table.add_row({std::to_string(r.nodes), std::to_string(r.threads),
+                         st::util::fmt(r.off_ms, 2),
+                         st::util::fmt(r.on_ms, 2),
+                         st::util::fmt(r.overhead_pct, 1) + "%",
+                         r.identical ? "yes" : "NO (BUG)"});
+    }
+    std::cout << obs_table.to_string() << "\n";
+    if (!obs_out.empty()) {
+      std::cout << "(obs events: " << obs_out << ")\n";
+    }
+    if (!obs_identical) {
+      std::cout << "DETERMINISM VIOLATION: instrumentation changed the "
+                   "adjusted ratings / flagged set / reputations\n";
+    }
+  }
+
   if (auto json_path = args.get("json"); json_path && !json_path->empty()) {
     std::ofstream out(*json_path);
     if (!out) {
@@ -239,8 +385,22 @@ int main(int argc, char** argv) {
           << st::util::fmt(r.speedup, 3) << "}"
           << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ]";
+    if (!obs_rows.empty()) {
+      out << ",\n  \"obs_identical_on_vs_off\": "
+          << (obs_identical ? "true" : "false") << ",\n  \"obs_overhead\": [\n";
+      for (std::size_t i = 0; i < obs_rows.size(); ++i) {
+        const ObsRow& r = obs_rows[i];
+        out << "    {\"nodes\": " << r.nodes << ", \"threads\": " << r.threads
+            << ", \"off_ms\": " << st::util::fmt(r.off_ms, 3)
+            << ", \"on_ms\": " << st::util::fmt(r.on_ms, 3)
+            << ", \"overhead_pct\": " << st::util::fmt(r.overhead_pct, 2)
+            << "}" << (i + 1 < obs_rows.size() ? "," : "") << "\n";
+      }
+      out << "  ]";
+    }
+    out << "\n}\n";
     std::cout << "(json: " << *json_path << ")\n";
   }
-  return all_identical ? 0 : 1;
+  return all_identical && obs_identical ? 0 : 1;
 }

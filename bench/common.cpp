@@ -13,9 +13,17 @@ Context::Context(int argc, char** argv, std::string bench_name)
   threads_ = static_cast<std::size_t>(args_.get_int("threads", 1));
   auto csv = args_.get("csv");
   if (csv && !csv->empty()) csv_dir_ = *csv;
+  auto obs = sim::apply_observability_flags(args_);
   std::cout << "=== " << bench_name_ << " ===\n"
             << "(seed " << seed_ << ", " << runs_ << " runs, " << cycles_
-            << " simulation cycles; mean ± 95% CI)\n\n";
+            << " simulation cycles; mean ± 95% CI)\n";
+  if (obs.enabled) {
+    std::cout << "(observability on"
+              << (obs.jsonl_path.empty() ? ""
+                                         : ", events -> " + obs.jsonl_path)
+              << ")\n";
+  }
+  std::cout << "\n";
 }
 
 sim::ExperimentConfig Context::paper_config(double colluder_b) const {

@@ -14,6 +14,9 @@
 //   --quick         reduced scale for smoke runs (2 runs, 20 cycles)
 //   --threads <n>   SocialTrust update-interval workers (default 1 =
 //                   serial, 0 = hardware concurrency; results identical)
+//   --obs           enable the metrics/tracing layer (src/obs/)
+//   --obs-out <p>   as --obs, streaming interval events to <p> as JSONL
+//                   (implies --obs; see docs/OBSERVABILITY.md)
 
 #include <iostream>
 #include <optional>

@@ -78,7 +78,12 @@ double ClosenessModel::closeness(const graph::SocialGraph& g,
 // --- ShardedClosenessCache --------------------------------------------------
 
 ShardedClosenessCache::ShardedClosenessCache()
-    : shards_(std::make_unique<Shard[]>(kShards)) {}
+    : shards_(std::make_unique<Shard[]>(kShards)) {
+  auto& registry = obs::Obs::instance().registry();
+  hits_ = &registry.counter("closeness_cache.hits");
+  misses_ = &registry.counter("closeness_cache.misses");
+  inserts_ = &registry.counter("closeness_cache.inserts");
+}
 
 double ShardedClosenessCache::get_or_compute(const ClosenessModel& model,
                                              const graph::SocialGraph& g,
@@ -89,11 +94,19 @@ double ShardedClosenessCache::get_or_compute(const ClosenessModel& model,
   {
     std::lock_guard lock(shard.mutex);
     auto it = shard.values.find(key);
-    if (it != shard.values.end()) return it->second;
+    if (it != shard.values.end()) {
+      hits_->add(1);
+      return it->second;
+    }
   }
+  misses_->add(1);
   double value = model.closeness(g, i, j);
-  std::lock_guard lock(shard.mutex);
-  shard.values.emplace(key, value);
+  bool inserted;
+  {
+    std::lock_guard lock(shard.mutex);
+    inserted = shard.values.emplace(key, value).second;
+  }
+  if (inserted) inserts_->add(1);
   return value;
 }
 

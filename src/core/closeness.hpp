@@ -21,6 +21,7 @@
 
 #include "core/config.hpp"
 #include "graph/social_graph.hpp"
+#include "obs/obs.hpp"
 
 namespace st::core {
 
@@ -83,6 +84,12 @@ class ClosenessModel {
 /// duplicate insert is a no-op — cache contents never depend on thread
 /// interleaving. The value is computed outside the shard lock to keep BFS
 /// work out of critical sections.
+///
+/// Observability: `closeness_cache.hits` / `.misses` / `.inserts` count
+/// lookups served from a shard, lookups that had to compute, and computed
+/// values actually inserted. `misses - inserts` is the number of duplicate
+/// computes lost to the benign same-key race above — a direct measure of
+/// how often threads collide on a pair (see docs/OBSERVABILITY.md).
 class ShardedClosenessCache {
  public:
   ShardedClosenessCache();
@@ -99,21 +106,38 @@ class ShardedClosenessCache {
   /// Total entries across shards (diagnostics/tests only; takes all locks).
   std::size_t size() const;
 
-  static constexpr std::size_t kShards = 64;  // power of two
+  /// Shard count: a power of two (shard_of masks with kShards - 1) well
+  /// above any realistic worker count, so even a fully loaded pool sees
+  /// ~1/64 odds of two threads wanting the same shard lock at once.
+  static constexpr std::size_t kShards = 64;
 
  private:
+  /// One stripe: its own mutex plus the map slice of keys that hash here.
+  /// Striping trades memory (64 small maps) for lock granularity — a
+  /// contended lookup blocks only the 1/64th of the key space it shares a
+  /// stripe with, not the whole memo table.
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<std::uint64_t, double> values;
   };
 
+  /// Maps a packed (rater << 32 | ratee) key to its stripe. The
+  /// Fibonacci-hash multiplier (2^64 / phi) mixes the low bits into the
+  /// high word before the mask, so raters with consecutive ids — the
+  /// common case, since the pair list is sorted by rater — spread across
+  /// shards instead of hammering one.
   static std::size_t shard_of(std::uint64_t key) noexcept {
-    // Multiplicative mix so raters hashing to consecutive ids spread out.
     return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32U) &
            (kShards - 1);
   }
 
   std::unique_ptr<Shard[]> shards_;
+
+  // Observability handles (see class comment); resolved once at
+  // construction, no-ops while the obs layer is disabled.
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* inserts_ = nullptr;
 };
 
 }  // namespace st::core

@@ -4,6 +4,16 @@
 
 namespace st::core {
 
+BehaviorDetector::BehaviorDetector(const SocialTrustConfig& config) noexcept
+    : config_(config) {
+  auto& registry = obs::Obs::instance().registry();
+  pairs_checked_ = &registry.counter("detector.pairs_checked");
+  b1_flags_ = &registry.counter("detector.b1_flags");
+  b2_flags_ = &registry.counter("detector.b2_flags");
+  b3_flags_ = &registry.counter("detector.b3_flags");
+  b4_flags_ = &registry.counter("detector.b4_flags");
+}
+
 double BehaviorDetector::positive_threshold(
     double average_pair_frequency) const noexcept {
   return std::max(config_.positive_count_floor,
@@ -44,6 +54,11 @@ Behavior BehaviorDetector::classify(
       result = result | Behavior::kB4;
   }
 
+  pairs_checked_->add(1);
+  if (any(result & Behavior::kB1)) b1_flags_->add(1);
+  if (any(result & Behavior::kB2)) b2_flags_->add(1);
+  if (any(result & Behavior::kB3)) b3_flags_->add(1);
+  if (any(result & Behavior::kB4)) b4_flags_->add(1);
   return result;
 }
 

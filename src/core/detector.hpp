@@ -22,6 +22,7 @@
 
 #include "core/config.hpp"
 #include "core/gaussian_filter.hpp"
+#include "obs/obs.hpp"
 
 namespace st::core {
 
@@ -61,8 +62,7 @@ struct PairEvidence {
 
 class BehaviorDetector {
  public:
-  explicit BehaviorDetector(const SocialTrustConfig& config) noexcept
-      : config_(config) {}
+  explicit BehaviorDetector(const SocialTrustConfig& config) noexcept;
 
   /// Effective high-frequency threshold for this interval given the
   /// system-average pair frequency F.
@@ -75,6 +75,17 @@ class BehaviorDetector {
 
  private:
   SocialTrustConfig config_;
+
+  // Observability handles: every classify() call bumps pairs_checked_,
+  // and each matched pattern bumps its flag counter — `detector.b1_flags`
+  // … `detector.b4_flags` are the per-behaviour hit rates the evaluation
+  // figures cannot show (process-wide relaxed-atomic counters, no-ops
+  // while the obs layer is disabled; see docs/OBSERVABILITY.md).
+  obs::Counter* pairs_checked_ = nullptr;
+  obs::Counter* b1_flags_ = nullptr;
+  obs::Counter* b2_flags_ = nullptr;
+  obs::Counter* b3_flags_ = nullptr;
+  obs::Counter* b4_flags_ = nullptr;
 };
 
 }  // namespace st::core

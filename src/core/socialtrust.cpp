@@ -33,6 +33,16 @@ SocialTrustPlugin::SocialTrustPlugin(
   if (effective_threads() > 1) {
     pool_ = std::make_unique<util::ThreadPool>(effective_threads());
   }
+  auto& registry = obs::Obs::instance().registry();
+  obs_.total_us = &registry.histogram("socialtrust.update.total_us");
+  obs_.collect_us = &registry.histogram("socialtrust.update.collect_us");
+  obs_.loo_us = &registry.histogram("socialtrust.update.loo_us");
+  obs_.adjust_us = &registry.histogram("socialtrust.update.adjust_us");
+  obs_.intervals = &registry.counter("socialtrust.intervals");
+  obs_.ratings_seen = &registry.counter("socialtrust.ratings_seen");
+  obs_.pairs_total = &registry.counter("socialtrust.pairs_total");
+  obs_.pairs_flagged = &registry.counter("socialtrust.pairs_flagged");
+  obs_.ratings_adjusted = &registry.counter("socialtrust.ratings_adjusted");
 }
 
 std::size_t SocialTrustPlugin::effective_threads() const noexcept {
@@ -173,6 +183,14 @@ SocialTrustPlugin::LooAggregate SocialTrustPlugin::aggregate_over(
 // --- update -----------------------------------------------------------------
 
 void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
+  // Stage timers (no-ops when st::obs is disabled). The three stage
+  // spans cover: collect = pair tally + sort + coefficient collection +
+  // system baseline; loo = per-rater leave-one-out aggregates; adjust =
+  // detect-and-adjust + ordered reduction.
+  obs::ScopedTimer total_timer(*obs_.total_us);
+  obs::ScopedTimer collect_timer(*obs_.collect_us);
+  double collect_us = 0.0, loo_us = 0.0, adjust_us = 0.0;
+
   closeness_cache_.clear();
   adjusted_.assign(cycle_ratings.begin(), cycle_ratings.end());
   report_ = AdjustmentReport{};
@@ -245,7 +263,9 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
   std::vector<double> sys_s_values = pair_s;
   const CoefficientStats system_c = robust_stats(sys_c_values);
   const CoefficientStats system_s = robust_stats(sys_s_values);
+  collect_us = collect_timer.stop();
 
+  obs::ScopedTimer loo_timer(*obs_.loo_us);
   // 3c. Per-rater aggregates over each rater's cumulative rated set
   // (parallel over distinct raters; each rater's multiset is built by one
   // thread, in rated_history_ order, so its contents are scheduling-free).
@@ -269,7 +289,9 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
       }
     });
   }
+  loo_us = loo_timer.stop();
 
+  obs::ScopedTimer adjust_timer(*obs_.adjust_us);
   // 4. Detect and adjust (parallel). A rating index belongs to exactly
   // one pair, so adjusted_ writes are disjoint; everything else lands in
   // the block's own partial.
@@ -355,9 +377,39 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
                             ? weight_sum /
                                   static_cast<double>(report_.ratings_adjusted)
                             : 1.0;
+  adjust_us = adjust_timer.stop();
 
   // 5. Feed the adjusted stream to the wrapped system.
   inner_->update(adjusted_);
+
+  // Observation only — nothing below feeds back into the adjustment, so
+  // the bit-identity contract (DESIGN.md §11) is untouched by obs state.
+  if (obs::enabled()) {
+    const double total_us = total_timer.stop();
+    obs_.intervals->add(1);
+    obs_.ratings_seen->add(cycle_ratings.size());
+    obs_.pairs_total->add(report_.pairs_total);
+    obs_.pairs_flagged->add(report_.pairs_flagged);
+    obs_.ratings_adjusted->add(report_.ratings_adjusted);
+    const obs::ExtraField extras[] = {
+        {"pairs_total", static_cast<double>(report_.pairs_total)},
+        {"pairs_flagged", static_cast<double>(report_.pairs_flagged)},
+        {"ratings_adjusted", static_cast<double>(report_.ratings_adjusted)},
+        {"b1", static_cast<double>(report_.b1)},
+        {"b2", static_cast<double>(report_.b2)},
+        {"b3", static_cast<double>(report_.b3)},
+        {"b4", static_cast<double>(report_.b4)},
+        {"mean_weight", report_.mean_weight},
+        {"collect_us", collect_us},
+        {"loo_us", loo_us},
+        {"adjust_us", adjust_us},
+        {"total_us", total_us},
+        {"closeness_cache_entries",
+         static_cast<double>(closeness_cache_.size())},
+        {"threads", static_cast<double>(effective_threads())},
+    };
+    obs::Obs::instance().emit_interval("socialtrust.update", name_, extras);
+  }
 }
 
 void SocialTrustPlugin::forget_node(NodeId node) {

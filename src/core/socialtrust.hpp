@@ -24,6 +24,13 @@
 // — never on the worker count — so the outcome is bit-for-bit identical
 // for every `threads` value, serial included. See DESIGN.md, "Parallel
 // update interval".
+//
+// Observability: when the st::obs layer is enabled, update() times its
+// three stages (collect / leave-one-out / adjust), tallies pair and
+// rating counters, and emits one "socialtrust.update" interval event per
+// call. Instrumentation is observation-only — it never feeds back into
+// the adjustment, so enabling it preserves the bit-identity contract
+// above (DESIGN.md §12, docs/OBSERVABILITY.md).
 
 #include <memory>
 #include <string>
@@ -34,6 +41,7 @@
 #include "core/config.hpp"
 #include "core/detector.hpp"
 #include "core/similarity.hpp"
+#include "obs/obs.hpp"
 #include "reputation/ledger.hpp"
 #include "reputation/reputation_system.hpp"
 #include "util/thread_pool.hpp"
@@ -121,13 +129,24 @@ class SocialTrustPlugin final : public reputation::ReputationSystem {
   };
 
  private:
+  /// Per-pair evidence accumulated in pass 1: the interval's positive and
+  /// negative rating counts t+/t- (the detector's frequency inputs, kept
+  /// as doubles because thresholds are fractional multiples of the system
+  /// average F), plus the indices of this pair's ratings in the
+  /// interval's stream. The index list is what makes the parallel
+  /// detect-and-adjust pass race-free: a rating index appears in exactly
+  /// one pair's list, so rescaling writes to adjusted_ are disjoint.
   struct PairTally {
     double positive = 0.0;
     double negative = 0.0;
     std::vector<std::size_t> rating_indices;  // into the interval's stream
   };
-  /// One active pair of the interval, sorted by (rater, ratee) — the
-  /// canonical order every pass iterates in and report_.flagged keeps.
+  /// One active pair of the interval: its directed (rater, ratee) key and
+  /// the tally above. update() flattens the PairMap into a
+  /// std::vector<PairWork> sorted by (rater, ratee) — the canonical order
+  /// every pass iterates in, the order blocks partition, and the order
+  /// report_.flagged keeps. All three parallel passes index this vector
+  /// by position, so "pair i" means the same pair on every thread count.
   struct PairWork {
     reputation::PairKey key;
     PairTally tally;
@@ -135,15 +154,18 @@ class SocialTrustPlugin final : public reputation::ReputationSystem {
   using PairMap = std::unordered_map<reputation::PairKey, PairTally,
                                      reputation::PairKeyHash>;
 
-  /// Per-block partial of the detect-and-adjust pass; reduced into
-  /// report_ in block-index order so counters and the floating-point
-  /// weight sum never depend on thread scheduling.
+  /// Per-block partial of the detect-and-adjust pass — the private
+  /// accumulator of one kPairBlock-sized block. Each worker writes only
+  /// its own block's partial (no sharing, no atomics); after the join the
+  /// partials are reduced into report_ serially in block-index order, so
+  /// the integer counters, the order-sensitive floating-point weight_sum,
+  /// and the concatenated flagged list never depend on thread scheduling.
   struct BlockPartial {
     std::size_t pairs_flagged = 0;
     std::size_t ratings_adjusted = 0;
-    std::size_t b1 = 0, b2 = 0, b3 = 0, b4 = 0;
-    double weight_sum = 0.0;
-    std::vector<FlaggedPair> flagged;
+    std::size_t b1 = 0, b2 = 0, b3 = 0, b4 = 0;  ///< per-behaviour counts
+    double weight_sum = 0.0;           ///< sum of applied Gaussian weights
+    std::vector<FlaggedPair> flagged;  ///< detector hits, pair-key order
   };
 
   double closeness_cached(reputation::NodeId i, reputation::NodeId j) const;
@@ -180,6 +202,22 @@ class SocialTrustPlugin final : public reputation::ReputationSystem {
   mutable ShardedClosenessCache closeness_cache_;
   std::vector<reputation::Rating> adjusted_;
   AdjustmentReport report_;
+
+  /// Observability handles, resolved once at construction (process-wide
+  /// metrics; no-ops while the obs layer is disabled). Stage histograms
+  /// record microseconds; counters accumulate across intervals.
+  struct ObsHandles {
+    obs::Histogram* total_us = nullptr;    ///< socialtrust.update.total_us
+    obs::Histogram* collect_us = nullptr;  ///< socialtrust.update.collect_us
+    obs::Histogram* loo_us = nullptr;      ///< socialtrust.update.loo_us
+    obs::Histogram* adjust_us = nullptr;   ///< socialtrust.update.adjust_us
+    obs::Counter* intervals = nullptr;     ///< socialtrust.intervals
+    obs::Counter* ratings_seen = nullptr;  ///< socialtrust.ratings_seen
+    obs::Counter* pairs_total = nullptr;   ///< socialtrust.pairs_total
+    obs::Counter* pairs_flagged = nullptr;  ///< socialtrust.pairs_flagged
+    obs::Counter* ratings_adjusted = nullptr;  ///< socialtrust.ratings_adjusted
+  };
+  ObsHandles obs_;
 };
 
 }  // namespace st::core

@@ -6,6 +6,18 @@
 
 namespace st::sim {
 
+obs::StObsConfig apply_observability_flags(const util::CliArgs& args) {
+  obs::StObsConfig config;
+  if (auto out = args.get("obs-out"); out && !out->empty()) {
+    config.enabled = true;
+    config.jsonl_path = *out;
+  } else if (args.has("obs")) {
+    config.enabled = true;
+  }
+  obs::Obs::instance().configure(config);
+  return config;
+}
+
 SystemFactory make_eigentrust_factory(reputation::EigenTrustConfig config) {
   return [config](const graph::SocialGraph&, const core::InterestProfiles&,
                   const std::vector<NodeId>& pretrusted, std::size_t n) {

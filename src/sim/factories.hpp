@@ -6,11 +6,25 @@
 #include <cstddef>
 
 #include "core/config.hpp"
+#include "obs/obs.hpp"
 #include "reputation/eigentrust.hpp"
 #include "reputation/paper_eigentrust.hpp"
 #include "sim/simulator.hpp"
+#include "util/cli.hpp"
 
 namespace st::sim {
+
+/// Parses the shared observability flags and configures the process-global
+/// obs layer (src/obs/) accordingly:
+///   --obs                 enable in-memory metrics + interval snapshots
+///   --obs-out <path.jsonl> as --obs, additionally streaming one JSON
+///                          object per interval event to <path.jsonl>
+/// `--obs-out` implies `--obs`. Without either flag the obs layer is left
+/// (re)configured as disabled — a true no-op. Returns the applied config.
+/// Call once at startup, before any Simulator runs; instrumentation is
+/// observation-only, so results are bit-identical either way (see
+/// docs/OBSERVABILITY.md).
+obs::StObsConfig apply_observability_flags(const util::CliArgs& args);
 
 /// Faithful Kamvar et al. EigenTrust (row-normalised power iteration).
 SystemFactory make_eigentrust_factory(

@@ -27,6 +27,16 @@ Simulator::Simulator(SimConfig config, SystemFactory factory,
         "Simulator: pretrusted + colluders exceed node count");
   if (!factory) throw std::invalid_argument("Simulator: null SystemFactory");
 
+  auto& registry = obs::Obs::instance().registry();
+  obs_.requests = &registry.counter("sim.requests");
+  obs_.requests_to_colluders = &registry.counter("sim.requests_to_colluders");
+  obs_.requests_to_pretrusted =
+      &registry.counter("sim.requests_to_pretrusted");
+  obs_.authentic_services = &registry.counter("sim.authentic_services");
+  obs_.inauthentic_services = &registry.counter("sim.inauthentic_services");
+  obs_.ratings = &registry.counter("sim.ratings");
+  obs_.fake_ratings = &registry.counter("sim.fake_ratings");
+
   assign_interests();
   assign_roles();
   build_social_graph();
@@ -142,6 +152,7 @@ void Simulator::submit_rating(NodeId rater, NodeId ratee, double value,
   r.value = value;
   r.interest = interest;
   ledger_.record(r);
+  obs_.ratings->add(1);
   // Rating frequency doubles as social interaction frequency f(i,j)
   // (Section 5.1: "The social interaction frequency f(i,j) equals the
   // rating frequency of n_i to n_j").
@@ -150,6 +161,7 @@ void Simulator::submit_rating(NodeId rater, NodeId ratee, double value,
     profiles_.record_request(rater, interest);
   } else {
     ++fake_ratings_;
+    obs_.fake_ratings->add(1);
   }
 }
 
@@ -212,14 +224,23 @@ void Simulator::issue_request(NodeId client) {
 
   --capacity_left_[server];
   ++total_requests_;
-  if (types_[server] == NodeType::kColluder) ++requests_to_colluders_;
-  if (types_[server] == NodeType::kPretrusted) ++requests_to_pretrusted_;
+  obs_.requests->add(1);
+  if (types_[server] == NodeType::kColluder) {
+    ++requests_to_colluders_;
+    obs_.requests_to_colluders->add(1);
+  }
+  if (types_[server] == NodeType::kPretrusted) {
+    ++requests_to_pretrusted_;
+    obs_.requests_to_pretrusted->add(1);
+  }
 
   bool authentic = rng_.bernoulli(authentic_probability(server));
   if (authentic) {
     ++authentic_services_;
+    obs_.authentic_services->add(1);
   } else {
     ++inauthentic_services_;
+    obs_.inauthentic_services->add(1);
     // Dissatisfied clients abandon the provider (inference I1: a buyer is
     // "unlikely to repeatedly choose a seller with low QoS").
     if (config_.sticky_selection) {
@@ -345,6 +366,25 @@ RunResult Simulator::run() {
     system_->update(ledger_.last_cycle());
     current_bar_ = selection_bar();
     record_cycle_metrics(result);
+    // Observation only — the extras are this run's cumulative tallies at
+    // the end of each simulation cycle (rates fall out by differencing
+    // consecutive events); nothing here affects the simulation.
+    if (obs::enabled()) {
+      const obs::ExtraField extras[] = {
+          {"cycle", static_cast<double>(cycle)},
+          {"requests", static_cast<double>(total_requests_)},
+          {"requests_to_colluders",
+           static_cast<double>(requests_to_colluders_)},
+          {"requests_to_pretrusted",
+           static_cast<double>(requests_to_pretrusted_)},
+          {"authentic_services", static_cast<double>(authentic_services_)},
+          {"inauthentic_services",
+           static_cast<double>(inauthentic_services_)},
+          {"fake_ratings", static_cast<double>(fake_ratings_)},
+      };
+      obs::Obs::instance().emit_interval("sim.cycle", system_->name(),
+                                         extras);
+    }
   }
 
   finalize_metrics(result);

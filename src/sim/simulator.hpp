@@ -17,6 +17,7 @@
 
 #include "core/similarity.hpp"
 #include "graph/social_graph.hpp"
+#include "obs/obs.hpp"
 #include "reputation/ledger.hpp"
 #include "reputation/reputation_system.hpp"
 #include "sim/metrics.hpp"
@@ -152,6 +153,22 @@ class Simulator {
   std::uint64_t authentic_services_ = 0;
   std::uint64_t inauthentic_services_ = 0;
   std::uint64_t fake_ratings_ = 0;
+
+  /// Observability handles (process-wide `sim.*` counters, resolved once
+  /// at construction; no-ops while the obs layer is disabled). They mirror
+  /// the run-scope tallies above but accumulate across every Simulator in
+  /// the process, and run() emits one "sim.cycle" event per simulation
+  /// cycle. See docs/OBSERVABILITY.md.
+  struct ObsHandles {
+    obs::Counter* requests = nullptr;
+    obs::Counter* requests_to_colluders = nullptr;
+    obs::Counter* requests_to_pretrusted = nullptr;
+    obs::Counter* authentic_services = nullptr;
+    obs::Counter* inauthentic_services = nullptr;
+    obs::Counter* ratings = nullptr;
+    obs::Counter* fake_ratings = nullptr;
+  };
+  ObsHandles obs_;
   double current_bar_ = 0.0;  // cached selection bar for the current cycle
   bool ran_ = false;
 };

@@ -5,6 +5,10 @@
 namespace st::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  auto& registry = obs::Obs::instance().registry();
+  queue_depth_ = &registry.gauge("thread_pool.queue_depth");
+  tasks_executed_ = &registry.counter("thread_pool.tasks_executed");
+  task_us_ = &registry.histogram("thread_pool.task_us");
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -38,7 +42,14 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    queue_depth_->add(-1);
+    {
+      // packaged_task stores exceptions in the future, so task() cannot
+      // throw past the timer.
+      obs::ScopedTimer timer(*task_us_);
+      task();
+    }
+    tasks_executed_->add(1);
   }
 }
 

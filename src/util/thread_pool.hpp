@@ -29,6 +29,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace st::util {
 
 class ThreadPool {
@@ -62,6 +64,7 @@ class ThreadPool {
         throw std::runtime_error("ThreadPool: submit after shutdown");
       tasks_.emplace([task] { (*task)(); });
     }
+    queue_depth_->add(1);
     cv_.notify_one();
     return result;
   }
@@ -125,6 +128,13 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  // Observability handles (process-wide metrics, shared by every pool in
+  // the process; resolved once in the constructor, no-ops while the obs
+  // layer is disabled). See docs/OBSERVABILITY.md.
+  obs::Gauge* queue_depth_ = nullptr;     ///< thread_pool.queue_depth
+  obs::Counter* tasks_executed_ = nullptr;  ///< thread_pool.tasks_executed
+  obs::Histogram* task_us_ = nullptr;     ///< thread_pool.task_us
 };
 
 }  // namespace st::util

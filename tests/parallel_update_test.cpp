@@ -18,6 +18,7 @@
 
 #include "collusion/models.hpp"
 #include "core/socialtrust.hpp"
+#include "obs/obs.hpp"
 #include "reputation/paper_eigentrust.hpp"
 #include "sim/simulator.hpp"
 
@@ -207,6 +208,37 @@ TEST(ParallelEquivalenceConfig, ZeroThreadsResolvesToHardware) {
   Snapshot serial = run_once("PCM", 5, 1, cfg);
   Snapshot hw = run_once("PCM", 5, 0, cfg);  // hardware concurrency
   expect_identical(serial, hw, "threads=0");
+}
+
+TEST(ParallelEquivalenceConfig, InstrumentationPreservesBitIdentity) {
+  // The obs layer (src/obs/) is observation-only: running the identical
+  // simulation with instrumentation off and on — serial and parallel —
+  // must produce bit-identical adjusted ratings, reports, flagged sets,
+  // and reputations. This is the determinism half of the obs overhead
+  // contract (docs/OBSERVABILITY.md); bench_parallel_update --obs checks
+  // the same property at P2P scale.
+  obs::Obs::instance().configure({});  // baseline: disabled
+  Snapshot off_serial = run_once("MMM", 17, 1);
+  Snapshot off_parallel = run_once("MMM", 17, 4);
+
+  obs::StObsConfig cfg;
+  cfg.enabled = true;  // in-memory metrics + snapshots, no file
+  obs::Obs::instance().configure(cfg);
+  Snapshot on_serial = run_once("MMM", 17, 1);
+  Snapshot on_parallel = run_once("MMM", 17, 4);
+  // The instrumented runs must actually have recorded something, or this
+  // test would vacuously compare two disabled runs.
+  EXPECT_GT(obs::Obs::instance().snapshot_count(), 0U);
+  EXPECT_GT(obs::Obs::instance()
+                .registry()
+                .counter("socialtrust.intervals")
+                .value(),
+            0U);
+  obs::Obs::instance().configure({});  // leave the process clean
+
+  expect_identical(off_serial, on_serial, "obs on vs off, serial");
+  expect_identical(off_serial, on_parallel, "obs on vs off, parallel");
+  expect_identical(off_serial, off_parallel, "obs off, serial vs parallel");
 }
 
 }  // namespace

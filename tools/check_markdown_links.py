@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans the given markdown files (or the repo's default documentation set)
+for inline links/images ``[text](target)`` and reference definitions
+``[label]: target``, resolves each relative target against the file's
+directory, and fails if any target does not exist.
+
+Skipped targets: absolute URLs (http/https/mailto/ftp), pure in-page
+anchors (#...), and absolute paths. A ``target#anchor`` suffix is dropped
+before the existence check (anchor validity is out of scope). Fenced code
+blocks and inline code spans are ignored so flag examples like
+``--csv <dir>`` or snippets containing brackets do not trip the checker.
+
+Usage:
+    python3 tools/check_markdown_links.py [file.md ...]
+
+Exit status: 0 when every link resolves, 1 otherwise (missing targets are
+listed on stderr). Run from anywhere; paths are resolved per file.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline link or image: [text](target "optional title")
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definition at line start: [label]: target
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+DEFAULT_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+]
+
+
+def strip_code(text: str) -> str:
+    """Blank out fenced code blocks and inline code spans."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out)
+
+
+def link_targets(text: str) -> list[str]:
+    text = strip_code(text)
+    return INLINE_LINK.findall(text) + REF_DEF.findall(text)
+
+
+def check_file(md_path: Path) -> list[str]:
+    errors = []
+    text = md_path.read_text(encoding="utf-8")
+    for target in link_targets(text):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part or path_part.startswith("/"):
+            continue
+        resolved = (md_path.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md_path}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(a) for a in argv]
+    else:
+        files = [repo_root / name for name in DEFAULT_FILES]
+        files += sorted((repo_root / "docs").glob("*.md"))
+
+    missing_inputs = [f for f in files if not f.exists()]
+    if missing_inputs:
+        for f in missing_inputs:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 1
+
+    errors = []
+    for f in files:
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
