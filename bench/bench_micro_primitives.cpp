@@ -29,7 +29,7 @@
 
 namespace {
 
-using namespace st;  // NOLINT: bench file, brevity wins
+using namespace st;  // NOLINT(google-build-using-namespace): bench file, brevity wins
 
 constexpr std::size_t kNodes = 200;
 

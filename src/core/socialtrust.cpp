@@ -224,6 +224,7 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
   // by pair key, independent of the worker count.
   std::vector<PairWork> work;
   work.reserve(pairs.size());
+  // st-lint: allow(DET-2 sanctioned flatten-then-sort - the std::sort below pins the order)
   for (auto& [key, tally] : pairs) {
     work.push_back(PairWork{key, std::move(tally)});
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "reputation/ledger.hpp"
 
@@ -25,7 +27,19 @@ void EbayReputation::update(std::span<const Rating> cycle_ratings) {
     }
     pair_sums[PairKey{r.rater, r.ratee}] += r.value;
   }
-  for (const auto& [key, sum] : pair_sums) {
+  // Reduce in canonical (rater, ratee) order, not hash order: the
+  // per-ratee accumulation is a floating-point sum, and iterating the
+  // unordered_map would tie the result bits to the standard library's
+  // bucket layout (DET-2 — the determinism contract of DESIGN.md §11).
+  std::vector<std::pair<PairKey, double>> ordered(pair_sums.begin(),
+                                                  pair_sums.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.rater != b.first.rater
+                         ? a.first.rater < b.first.rater
+                         : a.first.ratee < b.first.ratee;
+            });
+  for (const auto& [key, sum] : ordered) {
     // "Counts as one rating": the pair's cycle contribution saturates at
     // +/-1. For raw +/-1 ratings this is the sign; when a plugin has
     // rescaled the values, the fractional magnitude survives — otherwise a

@@ -28,6 +28,7 @@ std::uint32_t RatingLedger::close_cycle() {
 double RatingLedger::average_pair_frequency() const noexcept {
   if (last_counts_.empty()) return 0.0;
   double total = 0.0;
+  // st-lint: allow(DET-2 sums exact integer counts - every order yields the same double)
   for (const auto& [key, counts] : last_counts_) {
     total += counts.positive + counts.negative;
   }

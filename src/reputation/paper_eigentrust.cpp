@@ -4,13 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "reputation/ledger.hpp"
 
 namespace st::reputation {
 
 PaperEigenTrust::PaperEigenTrust(std::size_t node_count,
-                                 std::vector<NodeId> pretrusted,
+                                 const std::vector<NodeId>& pretrusted,
                                  PaperEigenTrustConfig config)
     : config_(config),
       is_pretrusted_(node_count, false),
@@ -76,7 +78,19 @@ void PaperEigenTrust::update(std::span<const Rating> cycle_ratings) {
     pair_sums[PairKey{r.rater, r.ratee}] += r.value;
   }
   const double cap = config_.pair_contribution_cap;
-  for (const auto& [key, sum] : pair_sums) {
+  // Reduce in canonical (rater, ratee) order, not hash order: each
+  // ratee's raw score is a floating-point sum over its raters, and
+  // iterating the unordered_map would tie the result bits to the
+  // standard library's bucket layout (DET-2, DESIGN.md §11).
+  std::vector<std::pair<PairKey, double>> ordered(pair_sums.begin(),
+                                                  pair_sums.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.rater != b.first.rater
+                         ? a.first.rater < b.first.rater
+                         : a.first.ratee < b.first.ratee;
+            });
+  for (const auto& [key, sum] : ordered) {
     raw_[key.ratee] += weight[key.rater] * std::clamp(sum, -cap, cap);
   }
   renormalize();

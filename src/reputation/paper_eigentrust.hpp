@@ -68,7 +68,8 @@ struct PaperEigenTrustConfig {
 
 class PaperEigenTrust final : public ReputationSystem {
  public:
-  PaperEigenTrust(std::size_t node_count, std::vector<NodeId> pretrusted,
+  PaperEigenTrust(std::size_t node_count,
+                  const std::vector<NodeId>& pretrusted,
                   PaperEigenTrustConfig config = {});
 
   std::string_view name() const noexcept override { return "EigenTrust"; }

@@ -38,7 +38,7 @@ std::optional<std::string> CliArgs::get(const std::string& name) const {
 
 std::string CliArgs::get_or(const std::string& name, std::string def) const {
   auto v = get(name);
-  return v && !v->empty() ? *v : def;
+  return v && !v->empty() ? *v : std::move(def);
 }
 
 std::int64_t CliArgs::get_int(const std::string& name,

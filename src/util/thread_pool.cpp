@@ -18,6 +18,8 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
+// NOLINTNEXTLINE(bugprone-exception-escape): shutdown() joins; a join that
+// throws means the process state is already corrupt, so terminate is right.
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {

@@ -387,6 +387,7 @@ TEST_F(ObsTest, ConcurrentIncrementsAreExact) {
   Gauge& g = r.gauge("test.mt_gauge");
   Histogram& h = r.histogram("test.mt_hist", {0.5});
 
+  // st-lint: allow(CON-1 deliberately raw threads - certifies the atomic paths under unpooled contention)
   std::vector<std::thread> workers;
   workers.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {

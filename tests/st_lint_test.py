@@ -1,0 +1,368 @@
+#!/usr/bin/env python3
+"""Unit suite for tools/st_lint.py.
+
+Runs the linter as a subprocess (the same way ctest and CI invoke it)
+against fixture snippets written to a temp tree that mirrors the repo
+layout (src/core/..., src/stats/..., tests/...), asserting that:
+
+  * every rule fires on its known-bad snippet and names its rule ID,
+  * a seeded fixture tree with one violation per rule exits non-zero,
+  * clean code and out-of-scope code pass,
+  * same-line and preceding-line ``st-lint: allow(RULE reason)``
+    suppress, and reason-less / unknown-rule suppressions are SUP-1
+    under ``--strict``,
+  * ``--json`` emits well-formed output.
+
+Invoked by ctest as ``st_lint_unit`` (see tests/CMakeLists.txt); also
+runs under plain ``python3 tests/st_lint_test.py`` or pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINTER = REPO_ROOT / "tools" / "st_lint.py"
+
+
+def run_lint(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINTER), *args],
+        capture_output=True, text=True, check=False)
+
+
+class LintFixtureCase(unittest.TestCase):
+    """Base: a temp tree mirroring the repo layout, one file per test."""
+
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory(prefix="st_lint_test_")
+        self.root = Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, rel: str, content: str) -> Path:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+        return path
+
+    def lint(self, *paths: Path, strict: bool = False,
+             as_json: bool = False) -> subprocess.CompletedProcess:
+        args = []
+        if strict:
+            args.append("--strict")
+        if as_json:
+            args.append("--json")
+        args += [str(p) for p in paths]
+        return run_lint(*args)
+
+    def assert_fires(self, proc: subprocess.CompletedProcess,
+                     rule: str) -> None:
+        self.assertEqual(proc.returncode, 1, proc.stderr + proc.stdout)
+        self.assertIn(rule, proc.stderr)
+
+    def assert_clean(self, proc: subprocess.CompletedProcess) -> None:
+        self.assertEqual(proc.returncode, 0, proc.stderr + proc.stdout)
+
+
+class RuleFiringTests(LintFixtureCase):
+    def test_det1_rand(self) -> None:
+        f = self.write("src/core/bad.cpp",
+                       "int f() { return rand() % 7; }\n")
+        self.assert_fires(self.lint(f), "DET-1")
+
+    def test_det1_random_device(self) -> None:
+        f = self.write("src/sim/bad.cpp",
+                       "auto s = std::random_device{}();\n")
+        self.assert_fires(self.lint(f), "DET-1")
+
+    def test_det1_clock_as_seed(self) -> None:
+        f = self.write(
+            "bench/bad.cpp",
+            "auto seed = std::chrono::steady_clock::now()"
+            ".time_since_epoch().count();\n")
+        self.assert_fires(self.lint(f), "DET-1")
+
+    def test_det1_timing_clock_is_fine(self) -> None:
+        f = self.write(
+            "bench/ok.cpp",
+            "auto start = std::chrono::steady_clock::now();\n")
+        self.assert_clean(self.lint(f))
+
+    def test_det1_allowed_in_rng(self) -> None:
+        f = self.write("src/stats/rng.cpp",
+                       "auto d = std::random_device{};\n")
+        self.assert_clean(self.lint(f))
+
+    def test_det2_range_for(self) -> None:
+        f = self.write("src/core/bad.cpp", """
+#include <unordered_map>
+double sum(const std::unordered_map<int, double>& unused) {
+  std::unordered_map<int, double> m;
+  double total = 0.0;
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}
+""")
+        self.assert_fires(self.lint(f), "DET-2")
+
+    def test_det2_iterator_loop(self) -> None:
+        f = self.write("src/reputation/bad.cpp", """
+#include <unordered_set>
+int count() {
+  std::unordered_set<int> s;
+  int n = 0;
+  for (auto it = s.begin(); it != s.end(); ++it) ++n;
+  return n;
+}
+""")
+        self.assert_fires(self.lint(f), "DET-2")
+
+    def test_det2_alias_aware(self) -> None:
+        f = self.write("src/sim/bad.cpp", """
+#include <unordered_map>
+using PairMap = std::unordered_map<int, double>;
+double g() {
+  PairMap pairs;
+  double t = 0.0;
+  for (const auto& [k, v] : pairs) t += v;
+  return t;
+}
+""")
+        self.assert_fires(self.lint(f), "DET-2")
+
+    def test_det2_member_declared_in_own_header(self) -> None:
+        self.write("src/core/widget.hpp", """
+#pragma once
+#include <unordered_map>
+struct Widget {
+  std::unordered_map<int, double> counts_;
+  double total() const;
+};
+""")
+        cpp = self.write("src/core/widget.cpp", """
+#include "widget.hpp"
+double Widget::total() const {
+  double t = 0.0;
+  for (const auto& [k, v] : counts_) t += v;
+  return t;
+}
+""")
+        proc = self.lint(self.root / "src")
+        self.assert_fires(proc, "DET-2")
+        self.assertIn(str(cpp.name), proc.stderr)
+
+    def test_det2_out_of_scope_dir_passes(self) -> None:
+        f = self.write("src/trace/ok.cpp", """
+#include <unordered_map>
+double sum() {
+  std::unordered_map<int, double> m;
+  double t = 0.0;
+  for (const auto& [k, v] : m) t += v;
+  return t;
+}
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_det2_vector_loop_passes(self) -> None:
+        f = self.write("src/core/ok.cpp", """
+#include <vector>
+double sum() {
+  std::vector<double> values;
+  double t = 0.0;
+  for (double v : values) t += v;
+  return t;
+}
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_con1_thread(self) -> None:
+        f = self.write("src/sim/bad.cpp",
+                       "#include <thread>\n"
+                       "void f() { std::thread t([] {}); t.join(); }\n")
+        self.assert_fires(self.lint(f), "CON-1")
+
+    def test_con1_detach(self) -> None:
+        f = self.write("tests/bad.cpp", "void f(auto& t) { t.detach(); }\n")
+        self.assert_fires(self.lint(f), "CON-1")
+
+    def test_con1_static_members_pass(self) -> None:
+        f = self.write(
+            "src/core/ok.cpp",
+            "#include <thread>\n"
+            "auto n = std::thread::hardware_concurrency();\n")
+        self.assert_clean(self.lint(f))
+
+    def test_con1_allowed_in_pool(self) -> None:
+        f = self.write("src/util/thread_pool.cpp",
+                       "#include <thread>\nstd::thread worker;\n")
+        self.assert_clean(self.lint(f))
+
+    def test_con2_new_delete(self) -> None:
+        f = self.write("src/core/bad.cpp",
+                       "int* f() { return new int(3); }\n"
+                       "void g(int* p) { delete p; }\n")
+        self.assert_fires(self.lint(f), "CON-2")
+
+    def test_con2_deleted_function_passes(self) -> None:
+        f = self.write("src/core/ok.hpp",
+                       "struct S { S(const S&) = delete; };\n")
+        self.assert_clean(self.lint(f))
+
+    def test_con2_comment_mention_passes(self) -> None:
+        f = self.write("src/core/ok.cpp",
+                       "// each new node attaches m edges\nint x = 0;\n")
+        self.assert_clean(self.lint(f))
+
+    def test_hyg1_wrong_first_include(self) -> None:
+        self.write("src/core/thing.hpp", "#pragma once\n")
+        f = self.write("src/core/thing.cpp",
+                       "#include <vector>\n#include \"core/thing.hpp\"\n")
+        self.assert_fires(self.lint(f), "HYG-1")
+
+    def test_hyg1_own_header_first_passes(self) -> None:
+        self.write("src/core/thing.hpp", "#pragma once\n")
+        f = self.write("src/core/thing.cpp",
+                       "#include \"core/thing.hpp\"\n#include <vector>\n")
+        self.assert_clean(self.lint(f))
+
+    def test_hyg1_no_own_header_passes(self) -> None:
+        f = self.write("tests/some_test.cpp", "#include <vector>\n")
+        self.assert_clean(self.lint(f))
+
+    def test_hyg2_using_namespace_in_header(self) -> None:
+        f = self.write("src/core/bad.hpp", "using namespace std;\n")
+        self.assert_fires(self.lint(f), "HYG-2")
+
+    def test_hyg2_in_cpp_passes(self) -> None:
+        f = self.write("bench/ok.cpp", "using namespace std;\n")
+        self.assert_clean(self.lint(f))
+
+
+class SeededTreeTest(LintFixtureCase):
+    """Acceptance: one violation per rule, all named, non-zero exit."""
+
+    def test_one_violation_per_rule(self) -> None:
+        self.write("src/core/det.hpp", "#pragma once\n")
+        self.write("src/core/det.cpp", """
+#include <unordered_map>
+#include "core/det.hpp"
+int seed_source() { return rand(); }
+double reduce() {
+  std::unordered_map<int, double> m;
+  double t = 0.0;
+  for (const auto& [k, v] : m) t += v;
+  return t;
+}
+""")
+        self.write("src/core/con.hpp",
+                   "#pragma once\nusing namespace std;\n")
+        self.write("src/sim/con.cpp", """
+#include <thread>
+void f() { std::thread t([] {}); t.detach(); }
+int* g() { return new int(1); }
+""")
+        proc = self.lint(self.root / "src", strict=True)
+        self.assertNotEqual(proc.returncode, 0)
+        for rule in ("DET-1", "DET-2", "CON-1", "CON-2", "HYG-1", "HYG-2"):
+            self.assertIn(rule, proc.stderr,
+                          f"{rule} missing from:\n{proc.stderr}")
+
+
+class SuppressionTests(LintFixtureCase):
+    BAD_LOOP = ("  for (const auto& [k, v] : m) t += v;")
+
+    def file_with(self, loop_line: str, prefix: str = "") -> Path:
+        return self.write("src/core/f.cpp", f"""
+#include <unordered_map>
+double reduce() {{
+  std::unordered_map<int, double> m;
+  double t = 0.0;
+{prefix}{loop_line}
+  return t;
+}}
+""")
+
+    def test_same_line_allow(self) -> None:
+        f = self.file_with(self.BAD_LOOP +
+                           "  // st-lint: allow(DET-2 integer sum)")
+        self.assert_clean(self.lint(f, strict=True))
+
+    def test_preceding_line_allow(self) -> None:
+        f = self.file_with(
+            self.BAD_LOOP,
+            prefix="  // st-lint: allow(DET-2 sorted downstream)\n")
+        self.assert_clean(self.lint(f, strict=True))
+
+    def test_allow_without_reason_is_sup1_in_strict(self) -> None:
+        f = self.file_with(self.BAD_LOOP + "  // st-lint: allow(DET-2)")
+        proc = self.lint(f, strict=True)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("SUP-1", proc.stderr)
+
+    def test_allow_unknown_rule_is_sup1(self) -> None:
+        f = self.write("src/core/f.cpp",
+                       "int x = 0;  // st-lint: allow(FOO-9 whatever)\n")
+        proc = self.lint(f, strict=True)
+        self.assert_fires(proc, "SUP-1")
+        self.assert_clean(self.lint(f))  # non-strict tolerates it
+
+    def test_allow_for_wrong_rule_does_not_suppress(self) -> None:
+        f = self.file_with(self.BAD_LOOP +
+                           "  // st-lint: allow(CON-1 wrong rule)")
+        self.assert_fires(self.lint(f), "DET-2")
+
+    def test_bare_nolint_is_sup1_in_strict(self) -> None:
+        f = self.write("src/core/f.cpp", "int x = 0;  // NOLINT\n")
+        proc = self.lint(f, strict=True)
+        self.assert_fires(proc, "SUP-1")
+
+    def test_nolint_without_reason_is_sup1_in_strict(self) -> None:
+        f = self.write("src/core/f.cpp",
+                       "int x = 0;  // NOLINT(some-check)\n")
+        proc = self.lint(f, strict=True)
+        self.assert_fires(proc, "SUP-1")
+
+    def test_nolint_with_check_and_reason_passes(self) -> None:
+        f = self.write(
+            "src/core/f.cpp",
+            "int x = 0;  // NOLINT(some-check): documented reason\n")
+        self.assert_clean(self.lint(f, strict=True))
+
+
+class OutputAndCliTests(LintFixtureCase):
+    def test_json_output(self) -> None:
+        f = self.write("src/core/bad.cpp", "int f() { return rand(); }\n")
+        proc = self.lint(f, as_json=True)
+        self.assertEqual(proc.returncode, 1)
+        payload = json.loads(proc.stdout)
+        self.assertEqual(payload["files_scanned"], 1)
+        self.assertEqual(len(payload["findings"]), 1)
+        self.assertEqual(payload["findings"][0]["rule"], "DET-1")
+        self.assertIn("line", payload["findings"][0])
+
+    def test_list_rules(self) -> None:
+        proc = run_lint("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("DET-1", "DET-2", "CON-1", "CON-2",
+                     "HYG-1", "HYG-2", "SUP-1"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_missing_path_is_usage_error(self) -> None:
+        proc = run_lint(str(self.root / "no_such_dir"))
+        self.assertEqual(proc.returncode, 2)
+
+    def test_real_tree_is_clean_under_strict(self) -> None:
+        proc = run_lint("--strict",
+                        str(REPO_ROOT / "src"),
+                        str(REPO_ROOT / "bench"),
+                        str(REPO_ROOT / "tests"))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
