@@ -47,83 +47,44 @@ double ClosenessModel::adjacent_closeness(const graph::SocialGraph& g,
   return relationship_mass(g, i, j) * g.interaction(i, j) / total;
 }
 
+double ClosenessModel::fof_closeness(
+    const graph::SocialGraph& g, graph::NodeId i, graph::NodeId j,
+    std::span<const graph::NodeId> common) const {
+  // Eq. (3): friend-of-friend average over common friends, summed in the
+  // ascending order common_friends() returns — the accumulation order is
+  // part of the bit-identity contract.
+  double sum = 0.0;
+  for (graph::NodeId k : common) {
+    sum += (adjacent_closeness(g, i, k) + adjacent_closeness(g, k, j)) / 2.0;
+  }
+  return sum;
+}
+
+double ClosenessModel::bottleneck_closeness(
+    const graph::SocialGraph& g, std::span<const graph::NodeId> path) const {
+  // Eq. (4): bottleneck (minimum) adjacent closeness along one shortest
+  // social path.
+  if (path.size() < 2) return 0.0;
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (std::size_t step = 0; step + 1 < path.size(); ++step) {
+    bottleneck =
+        std::min(bottleneck, adjacent_closeness(g, path[step], path[step + 1]));
+  }
+  return std::isfinite(bottleneck) ? bottleneck : 0.0;
+}
+
 double ClosenessModel::closeness(const graph::SocialGraph& g,
                                  graph::NodeId i, graph::NodeId j,
                                  std::size_t max_hops) const {
   if (i == j) return 0.0;  // self-closeness is meaningless for rating pairs
   if (g.adjacent(i, j)) return adjacent_closeness(g, i, j);
 
-  // Eq. (3): friend-of-friend average over common friends.
   std::vector<graph::NodeId> common = g.common_friends(i, j);
-  if (!common.empty()) {
-    double sum = 0.0;
-    for (graph::NodeId k : common) {
-      sum += (adjacent_closeness(g, i, k) + adjacent_closeness(g, k, j)) / 2.0;
-    }
-    return sum;
-  }
+  if (!common.empty()) return fof_closeness(g, i, j, common);
 
-  // Eq. (4) fallback: bottleneck (minimum) adjacent closeness along one
-  // shortest social path.
   auto path = g.shortest_path(i, j, max_hops);
-  if (!path || path->size() < 2) return 0.0;
-  double bottleneck = std::numeric_limits<double>::infinity();
-  for (std::size_t step = 0; step + 1 < path->size(); ++step) {
-    bottleneck = std::min(
-        bottleneck, adjacent_closeness(g, (*path)[step], (*path)[step + 1]));
-  }
-  return std::isfinite(bottleneck) ? bottleneck : 0.0;
-}
-
-// --- ShardedClosenessCache --------------------------------------------------
-
-ShardedClosenessCache::ShardedClosenessCache()
-    : shards_(std::make_unique<Shard[]>(kShards)) {
-  auto& registry = obs::Obs::instance().registry();
-  hits_ = &registry.counter("closeness_cache.hits");
-  misses_ = &registry.counter("closeness_cache.misses");
-  inserts_ = &registry.counter("closeness_cache.inserts");
-}
-
-double ShardedClosenessCache::get_or_compute(const ClosenessModel& model,
-                                             const graph::SocialGraph& g,
-                                             graph::NodeId i,
-                                             graph::NodeId j) {
-  const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32U) | j;
-  Shard& shard = shards_[shard_of(key)];
-  {
-    std::lock_guard lock(shard.mutex);
-    auto it = shard.values.find(key);
-    if (it != shard.values.end()) {
-      hits_->add(1);
-      return it->second;
-    }
-  }
-  misses_->add(1);
-  double value = model.closeness(g, i, j);
-  bool inserted;
-  {
-    std::lock_guard lock(shard.mutex);
-    inserted = shard.values.emplace(key, value).second;
-  }
-  if (inserted) inserts_->add(1);
-  return value;
-}
-
-void ShardedClosenessCache::clear() {
-  for (std::size_t s = 0; s < kShards; ++s) {
-    std::lock_guard lock(shards_[s].mutex);
-    shards_[s].values.clear();
-  }
-}
-
-std::size_t ShardedClosenessCache::size() const {
-  std::size_t total = 0;
-  for (std::size_t s = 0; s < kShards; ++s) {
-    std::lock_guard lock(shards_[s].mutex);
-    total += shards_[s].values.size();
-  }
-  return total;
+  if (!path) return 0.0;
+  return bottleneck_closeness(g, *path);
 }
 
 }  // namespace st::core

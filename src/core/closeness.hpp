@@ -15,13 +15,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
+#include <span>
 
 #include "core/config.hpp"
 #include "graph/social_graph.hpp"
-#include "obs/obs.hpp"
 
 namespace st::core {
 
@@ -54,6 +51,20 @@ class ClosenessModel {
   double adjacent_closeness(const graph::SocialGraph& g, graph::NodeId i,
                             graph::NodeId j) const;
 
+  /// Eq. (3) given the common-friend set of (i, j): the friend-of-friend
+  /// sum over `common`, exactly as the non-adjacent branch of closeness()
+  /// evaluates it. Exposed so a caller holding a memoised common set (the
+  /// incremental SocialStateCache) reproduces closeness() bit-for-bit.
+  double fof_closeness(const graph::SocialGraph& g, graph::NodeId i,
+                       graph::NodeId j,
+                       std::span<const graph::NodeId> common) const;
+
+  /// Eq. (4) given one shortest path i -> ... -> j (inclusive): the
+  /// minimum adjacent closeness along its edges; 0 for paths shorter than
+  /// one edge. Same bit-identity contract as fof_closeness().
+  double bottleneck_closeness(const graph::SocialGraph& g,
+                              std::span<const graph::NodeId> path) const;
+
   bool weighted() const noexcept { return weighted_; }
   double lambda() const noexcept { return lambda_; }
 
@@ -66,78 +77,6 @@ class ClosenessModel {
   bool weighted_;
   double lambda_;
   RelationshipWeightFn weight_fn_;
-};
-
-/// Mutex-striped memo table for pairwise closeness values.
-///
-/// Omega_c(i,j) is expensive (BFS / friend-of-friend sums) and the update
-/// interval evaluates each active pair several times (system baseline,
-/// per-rater aggregates, detect-and-adjust), so the plugin memoises it.
-/// With the interval fanned across a thread pool the memo table becomes
-/// shared mutable state; a single map under one mutex would serialise the
-/// hot path again. Instead the key space is sharded over kShards
-/// independently-locked maps, so concurrent lookups of different pairs
-/// almost never contend.
-///
-/// Determinism: closeness is a pure function of (graph, i, j), so when two
-/// threads race on the same absent key both compute the same value and the
-/// duplicate insert is a no-op — cache contents never depend on thread
-/// interleaving. The value is computed outside the shard lock to keep BFS
-/// work out of critical sections.
-///
-/// Observability: `closeness_cache.hits` / `.misses` / `.inserts` count
-/// lookups served from a shard, lookups that had to compute, and computed
-/// values actually inserted. `misses - inserts` is the number of duplicate
-/// computes lost to the benign same-key race above — a direct measure of
-/// how often threads collide on a pair (see docs/OBSERVABILITY.md).
-class ShardedClosenessCache {
- public:
-  ShardedClosenessCache();
-
-  /// Cached Omega_c(i,j), computing and memoising on miss.
-  double get_or_compute(const ClosenessModel& model,
-                        const graph::SocialGraph& g, graph::NodeId i,
-                        graph::NodeId j);
-
-  /// Drops every entry (start of a new update interval: interaction
-  /// frequencies have changed, so cached values are stale).
-  void clear();
-
-  /// Total entries across shards (diagnostics/tests only; takes all locks).
-  std::size_t size() const;
-
-  /// Shard count: a power of two (shard_of masks with kShards - 1) well
-  /// above any realistic worker count, so even a fully loaded pool sees
-  /// ~1/64 odds of two threads wanting the same shard lock at once.
-  static constexpr std::size_t kShards = 64;
-
- private:
-  /// One stripe: its own mutex plus the map slice of keys that hash here.
-  /// Striping trades memory (64 small maps) for lock granularity — a
-  /// contended lookup blocks only the 1/64th of the key space it shares a
-  /// stripe with, not the whole memo table.
-  struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, double> values;
-  };
-
-  /// Maps a packed (rater << 32 | ratee) key to its stripe. The
-  /// Fibonacci-hash multiplier (2^64 / phi) mixes the low bits into the
-  /// high word before the mask, so raters with consecutive ids — the
-  /// common case, since the pair list is sorted by rater — spread across
-  /// shards instead of hammering one.
-  static std::size_t shard_of(std::uint64_t key) noexcept {
-    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32U) &
-           (kShards - 1);
-  }
-
-  std::unique_ptr<Shard[]> shards_;
-
-  // Observability handles (see class comment); resolved once at
-  // construction, no-ops while the obs layer is disabled.
-  obs::Counter* hits_ = nullptr;
-  obs::Counter* misses_ = nullptr;
-  obs::Counter* inserts_ = nullptr;
 };
 
 }  // namespace st::core

@@ -10,7 +10,8 @@ InterestProfiles::InterestProfiles(std::size_t node_count,
     : categories_(category_count),
       declared_(node_count),
       request_counts_(node_count, std::vector<double>(category_count, 0.0)),
-      request_totals_(node_count, 0.0) {
+      request_totals_(node_count, 0.0),
+      revisions_(node_count, 0) {
   if (category_count == 0)
     throw std::invalid_argument("InterestProfiles: need >= 1 category");
 }
@@ -20,16 +21,24 @@ void InterestProfiles::check_node(NodeId node) const {
     throw std::out_of_range("InterestProfiles: node out of range");
 }
 
+void InterestProfiles::bump(NodeId node) {
+  ++revisions_[node];
+  ++epoch_;
+}
+
 void InterestProfiles::set_interests(NodeId node,
                                      std::span<const InterestId> interests) {
   check_node(node);
-  auto& set = declared_[node];
-  set.clear();
+  std::vector<InterestId> next;
   for (InterestId id : interests) {
-    if (id < categories_) set.push_back(id);
+    if (id < categories_) next.push_back(id);
   }
-  std::sort(set.begin(), set.end());
-  set.erase(std::unique(set.begin(), set.end()), set.end());
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  if (next != declared_[node]) {
+    declared_[node] = std::move(next);
+    bump(node);
+  }
 }
 
 void InterestProfiles::add_interest(NodeId node, InterestId interest) {
@@ -37,14 +46,20 @@ void InterestProfiles::add_interest(NodeId node, InterestId interest) {
   if (interest >= categories_) return;
   auto& set = declared_[node];
   auto it = std::lower_bound(set.begin(), set.end(), interest);
-  if (it == set.end() || *it != interest) set.insert(it, interest);
+  if (it == set.end() || *it != interest) {
+    set.insert(it, interest);
+    bump(node);
+  }
 }
 
 void InterestProfiles::remove_interest(NodeId node, InterestId interest) {
   check_node(node);
   auto& set = declared_[node];
   auto it = std::lower_bound(set.begin(), set.end(), interest);
-  if (it != set.end() && *it == interest) set.erase(it);
+  if (it != set.end() && *it == interest) {
+    set.erase(it);
+    bump(node);
+  }
 }
 
 std::span<const InterestId> InterestProfiles::declared(NodeId node) const {
@@ -58,6 +73,7 @@ void InterestProfiles::record_request(NodeId node, InterestId category,
   if (category >= categories_ || count <= 0.0) return;
   request_counts_[node][category] += count;
   request_totals_[node] += count;
+  bump(node);
 }
 
 double InterestProfiles::request_weight(NodeId node,
@@ -87,8 +103,10 @@ std::vector<InterestId> InterestProfiles::effective(NodeId node) const {
 
 void InterestProfiles::clear_requests(NodeId node) {
   check_node(node);
+  if (request_totals_[node] == 0.0) return;
   std::fill(request_counts_[node].begin(), request_counts_[node].end(), 0.0);
   request_totals_[node] = 0.0;
+  bump(node);
 }
 
 double InterestProfiles::similarity(NodeId a, NodeId b) const {

@@ -24,6 +24,12 @@ using reputation::NodeId;
 
 class InterestProfiles {
  public:
+  /// Monotone change counter, mirroring graph::SocialGraph::Revision:
+  /// bumps exactly when a node's declared set or request histogram actually
+  /// changes, so similarity values witnessed against the revisions of both
+  /// endpoints can be reused verbatim while those revisions hold.
+  using Revision = std::uint64_t;
+
   /// `node_count` peers over `category_count` product/resource categories.
   InterestProfiles(std::size_t node_count, std::size_t category_count);
 
@@ -75,13 +81,26 @@ class InterestProfiles {
   /// common effective interests. Kept for the ablation bench and tests.
   double weighted_similarity_eq11(NodeId a, NodeId b) const;
 
+  /// Revision of `node`'s profile state (declared interests + request
+  /// histogram). Every similarity variant between a and b is a pure
+  /// function of the states witnessed by revision(a) and revision(b).
+  Revision revision(NodeId node) const noexcept {
+    return node < revisions_.size() ? revisions_[node] : 0;
+  }
+
+  /// Global epoch: bumps whenever any profile changes.
+  Revision epoch() const noexcept { return epoch_; }
+
  private:
   void check_node(NodeId node) const;
+  void bump(NodeId node);
 
   std::size_t categories_;
   std::vector<std::vector<InterestId>> declared_;        // sorted
   std::vector<std::vector<double>> request_counts_;      // dense per category
   std::vector<double> request_totals_;
+  std::vector<Revision> revisions_;
+  Revision epoch_ = 0;
 };
 
 }  // namespace st::core

@@ -1,0 +1,299 @@
+#include "core/social_state_cache.hpp"
+
+#include <algorithm>
+
+namespace st::core {
+
+SocialStateCache::SocialStateCache()
+    : shards_(std::make_unique<Shard[]>(kShards)) {
+  auto& registry = obs::Obs::instance().registry();
+  obs_hits_ = &registry.counter("social_cache.hits");
+  obs_misses_ = &registry.counter("social_cache.misses");
+  obs_invalidations_ = &registry.counter("social_cache.invalidations");
+  obs_structure_hits_ = &registry.counter("social_cache.structure_hits");
+  obs_structure_misses_ = &registry.counter("social_cache.structure_misses");
+}
+
+bool SocialStateCache::Validity::valid(
+    const graph::SocialGraph& g) const noexcept {
+  if (structure_epoch != kNoGate && g.structure_epoch() != structure_epoch)
+    return false;
+  if (full_epoch != kNoGate && g.epoch() != full_epoch) return false;
+  for (const Witness& w : witnesses) {
+    const Revision current =
+        w.structure ? g.structure_revision(w.node) : g.revision(w.node);
+    if (current != w.rev) return false;
+  }
+  return true;
+}
+
+bool SocialStateCache::Validity::mentions(NodeId node) const noexcept {
+  for (const Witness& w : witnesses) {
+    if (w.node == node) return true;
+  }
+  return false;
+}
+
+std::vector<SocialStateCache::NodeId> SocialStateCache::common_cached(
+    const graph::SocialGraph& g, NodeId i, NodeId j) {
+  const NodeId lo = std::min(i, j);
+  const NodeId hi = std::max(i, j);
+  const std::uint64_t key = pack(lo, hi);
+  Shard& shard = shards_[shard_of(key)];
+  const Revision srev_lo = g.structure_revision(lo);
+  const Revision srev_hi = g.structure_revision(hi);
+  bool stale = false;
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.common_sets.find(key);
+    if (it != shard.common_sets.end()) {
+      if (it->second.srev_lo == srev_lo && it->second.srev_hi == srev_hi) {
+        structure_hits_.fetch_add(1, std::memory_order_relaxed);
+        obs_structure_hits_->add(1);
+        return it->second.common;
+      }
+      stale = true;
+    }
+  }
+  if (stale) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    obs_invalidations_->add(1);
+  }
+  structure_misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_structure_misses_->add(1);
+  // common_friends is symmetric, so the canonical orientation returns the
+  // same ascending set either direction was asked for.
+  std::vector<NodeId> common = g.common_friends(lo, hi);
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.common_sets[key] = CommonEntry{common, srev_lo, srev_hi};
+  }
+  return common;
+}
+
+std::vector<SocialStateCache::NodeId> SocialStateCache::path_cached(
+    const graph::SocialGraph& g, NodeId i, NodeId j, std::size_t max_hops) {
+  const std::uint64_t key = pack(i, j);
+  Shard& shard = shards_[shard_of(key)];
+  const Revision sepoch = g.structure_epoch();
+  bool stale = false;
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.paths.find(key);
+    if (it != shard.paths.end()) {
+      if (it->second.structure_epoch == sepoch) {
+        structure_hits_.fetch_add(1, std::memory_order_relaxed);
+        obs_structure_hits_->add(1);
+        return it->second.path;
+      }
+      stale = true;
+    }
+  }
+  if (stale) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    obs_invalidations_->add(1);
+  }
+  structure_misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_structure_misses_->add(1);
+  auto found = g.shortest_path(i, j, max_hops);
+  std::vector<NodeId> path = found ? std::move(*found) : std::vector<NodeId>{};
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.paths[key] = PathEntry{path, sepoch};
+  }
+  return path;
+}
+
+double SocialStateCache::compute_closeness(const ClosenessModel& model,
+                                           const graph::SocialGraph& g,
+                                           NodeId i, NodeId j,
+                                           std::size_t max_hops,
+                                           Validity& out) {
+  // Branch structure mirrors ClosenessModel::closeness() exactly; each
+  // branch records the weakest witness set that pins both the branch
+  // choice and every value the branch read (see the header's table).
+  if (i == j) return 0.0;  // constant: `out` stays gate- and witness-free
+
+  if (g.adjacent(i, j)) {
+    out.witnesses.push_back(Witness{i, false, g.revision(i)});
+    return model.adjacent_closeness(g, i, j);
+  }
+
+  std::vector<NodeId> common = common_cached(g, i, j);
+  if (!common.empty()) {
+    if (common.size() + 2 > kMaxWitnesses) {
+      out.full_epoch = g.epoch();
+    } else {
+      out.witnesses.reserve(common.size() + 2);
+      out.witnesses.push_back(Witness{i, false, g.revision(i)});
+      out.witnesses.push_back(Witness{j, true, g.structure_revision(j)});
+      for (NodeId k : common) {
+        out.witnesses.push_back(Witness{k, false, g.revision(k)});
+      }
+    }
+    return model.fof_closeness(g, i, j, common);
+  }
+
+  std::vector<NodeId> path = path_cached(g, i, j, max_hops);
+  if (path.size() < 2) {
+    // Unreachable within max_hops: purely structural, so the entry lives
+    // until any edge changes anywhere.
+    out.structure_epoch = g.structure_epoch();
+    return 0.0;
+  }
+  if (path.size() - 1 > kMaxWitnesses) {
+    out.full_epoch = g.epoch();
+  } else {
+    out.structure_epoch = g.structure_epoch();
+    out.witnesses.reserve(path.size() - 1);
+    for (std::size_t step = 0; step + 1 < path.size(); ++step) {
+      out.witnesses.push_back(Witness{path[step], false, g.revision(path[step])});
+    }
+  }
+  return model.bottleneck_closeness(g, path);
+}
+
+double SocialStateCache::closeness(const ClosenessModel& model,
+                                   const graph::SocialGraph& g, NodeId i,
+                                   NodeId j, std::size_t max_hops) {
+  const std::uint64_t key = pack(i, j);
+  Shard& shard = shards_[shard_of(key)];
+  bool stale = false;
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.closeness.find(key);
+    if (it != shard.closeness.end()) {
+      if (it->second.validity.valid(g)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        obs_hits_->add(1);
+        return it->second.value;
+      }
+      stale = true;
+    }
+  }
+  if (stale) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    obs_invalidations_->add(1);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_misses_->add(1);
+  ClosenessEntry entry;
+  entry.value = compute_closeness(model, g, i, j, max_hops, entry.validity);
+  const double value = entry.value;
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.closeness[key] = std::move(entry);
+  }
+  return value;
+}
+
+double SocialStateCache::similarity(const InterestProfiles& profiles, NodeId a,
+                                    NodeId b, bool weighted) {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  const std::uint64_t key = pack(lo, hi);
+  Shard& shard = shards_[shard_of(key)];
+  const Revision rev_lo = profiles.revision(lo);
+  const Revision rev_hi = profiles.revision(hi);
+  bool stale = false;
+  {
+    std::lock_guard lock(shard.mutex);
+    auto it = shard.similarity.find(key);
+    if (it != shard.similarity.end()) {
+      if (it->second.rev_lo == rev_lo && it->second.rev_hi == rev_hi) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        obs_hits_->add(1);
+        return it->second.value;
+      }
+      stale = true;
+    }
+  }
+  if (stale) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    obs_invalidations_->add(1);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_misses_->add(1);
+  // Every similarity variant is symmetric term by term (ascending merge of
+  // the two interest sets, min()/count per term), so evaluating the
+  // canonical orientation is bit-identical to the asked-for one.
+  const double value = weighted ? profiles.weighted_similarity(lo, hi)
+                                : profiles.similarity(lo, hi);
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.similarity[key] = SimilarityEntry{value, rev_lo, rev_hi};
+  }
+  return value;
+}
+
+void SocialStateCache::invalidate_node(NodeId node) {
+  const auto key_mentions = [node](std::uint64_t key) {
+    return static_cast<NodeId>(key >> 32U) == node ||
+           static_cast<NodeId>(key & 0xFFFFFFFFU) == node;
+  };
+  std::uint64_t erased = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard lock(shard.mutex);
+    erased += std::erase_if(shard.closeness, [&](const auto& kv) {
+      return key_mentions(kv.first) || kv.second.validity.mentions(node);
+    });
+    erased += std::erase_if(shard.similarity, [&](const auto& kv) {
+      return key_mentions(kv.first);
+    });
+    erased += std::erase_if(shard.common_sets, [&](const auto& kv) {
+      return key_mentions(kv.first) ||
+             std::find(kv.second.common.begin(), kv.second.common.end(),
+                       node) != kv.second.common.end();
+    });
+    erased += std::erase_if(shard.paths, [&](const auto& kv) {
+      return key_mentions(kv.first) ||
+             std::find(kv.second.path.begin(), kv.second.path.end(), node) !=
+                 kv.second.path.end();
+    });
+  }
+  if (erased > 0) {
+    invalidations_.fetch_add(erased, std::memory_order_relaxed);
+    obs_invalidations_->add(erased);
+  }
+}
+
+void SocialStateCache::clear() {
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard lock(shards_[s].mutex);
+    shards_[s].closeness.clear();
+    shards_[s].similarity.clear();
+    shards_[s].common_sets.clear();
+    shards_[s].paths.clear();
+  }
+}
+
+std::size_t SocialStateCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard lock(shards_[s].mutex);
+    total += shards_[s].closeness.size() + shards_[s].similarity.size();
+  }
+  return total;
+}
+
+std::size_t SocialStateCache::structure_size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard lock(shards_[s].mutex);
+    total += shards_[s].common_sets.size() + shards_[s].paths.size();
+  }
+  return total;
+}
+
+SocialStateCache::StatsSnapshot SocialStateCache::stats() const noexcept {
+  StatsSnapshot snap;
+  snap.hits = hits_.load(std::memory_order_relaxed);
+  snap.misses = misses_.load(std::memory_order_relaxed);
+  snap.invalidations = invalidations_.load(std::memory_order_relaxed);
+  snap.structure_hits = structure_hits_.load(std::memory_order_relaxed);
+  snap.structure_misses = structure_misses_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace st::core

@@ -43,6 +43,7 @@ SocialTrustPlugin::SocialTrustPlugin(
   obs_.pairs_total = &registry.counter("socialtrust.pairs_total");
   obs_.pairs_flagged = &registry.counter("socialtrust.pairs_flagged");
   obs_.ratings_adjusted = &registry.counter("socialtrust.ratings_adjusted");
+  obs_.cache_hit_rate = &registry.gauge("social_cache.hit_rate_pct");
 }
 
 std::size_t SocialTrustPlugin::effective_threads() const noexcept {
@@ -163,12 +164,11 @@ CoefficientStats robust_stats(std::vector<double>& values) {
 }  // namespace
 
 double SocialTrustPlugin::closeness_cached(NodeId i, NodeId j) const {
-  return closeness_cache_.get_or_compute(closeness_model_, graph_, i, j);
+  return social_cache_.closeness(closeness_model_, graph_, i, j);
 }
 
 double SocialTrustPlugin::similarity_of(NodeId i, NodeId j) const {
-  return config_.weighted_interests ? profiles_.weighted_similarity(i, j)
-                                    : profiles_.similarity(i, j);
+  return social_cache_.similarity(profiles_, i, j, config_.weighted_interests);
 }
 
 SocialTrustPlugin::LooAggregate SocialTrustPlugin::aggregate_over(
@@ -191,7 +191,10 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
   obs::ScopedTimer collect_timer(*obs_.collect_us);
   double collect_us = 0.0, loo_us = 0.0, adjust_us = 0.0;
 
-  closeness_cache_.clear();
+  // No cache wipe here: social_cache_ persists across intervals and
+  // revalidates each entry against graph/profile revisions, so values
+  // whose social neighbourhood is unchanged since the last interval are
+  // served without redoing the BFS / friend-of-friend work.
   adjusted_.assign(cycle_ratings.begin(), cycle_ratings.end());
   report_ = AdjustmentReport{};
 
@@ -387,6 +390,20 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
   // the bit-identity contract (DESIGN.md §11) is untouched by obs state.
   if (obs::enabled()) {
     const double total_us = total_timer.stop();
+    // This interval's cache hit rate: delta of the cache's cumulative
+    // per-instance totals since the last report.
+    const SocialStateCache::StatsSnapshot cache_stats = social_cache_.stats();
+    const std::uint64_t interval_hits = cache_stats.hits - cache_hits_reported_;
+    const std::uint64_t interval_misses =
+        cache_stats.misses - cache_misses_reported_;
+    cache_hits_reported_ = cache_stats.hits;
+    cache_misses_reported_ = cache_stats.misses;
+    const std::uint64_t interval_lookups = interval_hits + interval_misses;
+    const double hit_rate_pct =
+        interval_lookups > 0 ? 100.0 * static_cast<double>(interval_hits) /
+                                   static_cast<double>(interval_lookups)
+                             : 0.0;
+    obs_.cache_hit_rate->set(static_cast<std::int64_t>(hit_rate_pct));
     obs_.intervals->add(1);
     obs_.ratings_seen->add(cycle_ratings.size());
     obs_.pairs_total->add(report_.pairs_total);
@@ -405,8 +422,8 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
         {"loo_us", loo_us},
         {"adjust_us", adjust_us},
         {"total_us", total_us},
-        {"closeness_cache_entries",
-         static_cast<double>(closeness_cache_.size())},
+        {"social_cache_entries", static_cast<double>(social_cache_.size())},
+        {"social_cache_hit_rate_pct", hit_rate_pct},
         {"threads", static_cast<double>(effective_threads())},
     };
     obs::Obs::instance().emit_interval("socialtrust.update", name_, extras);
@@ -421,12 +438,15 @@ void SocialTrustPlugin::forget_node(NodeId node) {
     auto it = std::lower_bound(hist.begin(), hist.end(), node);
     if (it != hist.end() && *it == node) hist.erase(it);
   }
+  // Whitewashing hook: cached closeness/similarity mentioning the node is
+  // stale the moment its new identity starts from a blank social record.
+  social_cache_.invalidate_node(node);
 }
 
 void SocialTrustPlugin::reset() {
   inner_->reset();
   for (auto& hist : rated_history_) hist.clear();
-  closeness_cache_.clear();
+  social_cache_.clear();
   adjusted_.clear();
   report_ = AdjustmentReport{};
 }

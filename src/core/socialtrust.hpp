@@ -25,6 +25,14 @@
 // for every `threads` value, serial included. See DESIGN.md, "Parallel
 // update interval".
 //
+// Incremental social state: closeness and similarity lookups go through a
+// persistent SocialStateCache that survives across update intervals and
+// revalidates entries against the per-node revision counters of the graph
+// and profiles — an entry is reused iff re-deriving it would read the same
+// state, so warm results stay bit-identical to a cold recompute while the
+// expensive BFS / friend-of-friend work is only redone for pairs whose
+// social neighbourhood actually changed (DESIGN.md §13).
+//
 // Observability: when the st::obs layer is enabled, update() times its
 // three stages (collect / leave-one-out / adjust), tallies pair and
 // rating counters, and emits one "socialtrust.update" interval event per
@@ -41,6 +49,7 @@
 #include "core/config.hpp"
 #include "core/detector.hpp"
 #include "core/similarity.hpp"
+#include "core/social_state_cache.hpp"
 #include "obs/obs.hpp"
 #include "reputation/ledger.hpp"
 #include "reputation/reputation_system.hpp"
@@ -100,6 +109,12 @@ class SocialTrustPlugin final : public reputation::ReputationSystem {
   /// Worker count the update interval actually runs with (the config knob
   /// with 0 resolved to hardware concurrency).
   std::size_t effective_threads() const noexcept;
+
+  /// The persistent social-state cache (tests, benches, diagnostics).
+  /// Mutable access is deliberate: dropping it (`social_cache().clear()`)
+  /// must never change update() output, only its cost — that is the
+  /// cold-vs-warm property the incremental tests pin down.
+  SocialStateCache& social_cache() const noexcept { return social_cache_; }
 
   /// Pair-block grain of the parallel passes. A fixed constant — not a
   /// function of the worker count — so the block reduction tree, and with
@@ -196,12 +211,21 @@ class SocialTrustPlugin final : public reputation::ReputationSystem {
   /// the per-rater Gaussian statistics are computed.
   std::vector<std::vector<reputation::NodeId>> rated_history_;
 
-  // Per-update scratch (cleared each call). The closeness memo is mutable
-  // because closeness_cached() is a logically-const read shared by the
-  // concurrent passes; the sharded cache makes it physically thread-safe.
-  mutable ShardedClosenessCache closeness_cache_;
+  /// Persistent closeness/similarity memo, revalidated per entry against
+  /// graph/profile revisions — NOT per-update scratch; it survives across
+  /// intervals (DESIGN.md §13). Mutable because closeness_cached() /
+  /// similarity_of() are logically-const reads shared by the concurrent
+  /// passes; the sharded cache makes them physically thread-safe.
+  mutable SocialStateCache social_cache_;
+
+  // Per-update scratch (rebuilt each call).
   std::vector<reputation::Rating> adjusted_;
   AdjustmentReport report_;
+
+  /// Cache totals already reported in earlier intervals; the delta against
+  /// the cache's cumulative stats gives this interval's hit rate.
+  std::uint64_t cache_hits_reported_ = 0;
+  std::uint64_t cache_misses_reported_ = 0;
 
   /// Observability handles, resolved once at construction (process-wide
   /// metrics; no-ops while the obs layer is disabled). Stage histograms
@@ -216,6 +240,7 @@ class SocialTrustPlugin final : public reputation::ReputationSystem {
     obs::Counter* pairs_total = nullptr;   ///< socialtrust.pairs_total
     obs::Counter* pairs_flagged = nullptr;  ///< socialtrust.pairs_flagged
     obs::Counter* ratings_adjusted = nullptr;  ///< socialtrust.ratings_adjusted
+    obs::Gauge* cache_hit_rate = nullptr;  ///< social_cache.hit_rate_pct
   };
   ObsHandles obs_;
 };

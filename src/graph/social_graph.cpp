@@ -29,7 +29,23 @@ SocialGraph::SocialGraph(std::size_t node_count)
     : adjacency_(node_count),
       neighbor_ids_(node_count),
       interactions_(node_count),
-      interaction_totals_(node_count, 0.0) {}
+      interaction_totals_(node_count, 0.0),
+      revisions_(node_count, 0),
+      structure_revisions_(node_count, 0) {}
+
+void SocialGraph::bump_structure(NodeId a, NodeId b) {
+  ++structure_revisions_[a];
+  ++structure_revisions_[b];
+  ++revisions_[a];
+  ++revisions_[b];
+  ++structure_epoch_;
+  ++epoch_;
+}
+
+void SocialGraph::bump_value(NodeId a) {
+  ++revisions_[a];
+  ++epoch_;
+}
 
 void SocialGraph::check_node(NodeId a) const {
   if (a >= adjacency_.size())
@@ -72,6 +88,7 @@ bool SocialGraph::add_relationship(NodeId a, NodeId b, Relationship r) {
   };
   bool added = insert_half(a, b);
   insert_half(b, a);
+  if (added) bump_structure(a, b);
   return added;
 }
 
@@ -93,6 +110,7 @@ bool SocialGraph::remove_relationship(NodeId a, NodeId b, Relationship r) {
   };
   bool removed = remove_half(a, b);
   remove_half(b, a);
+  if (removed) bump_structure(a, b);
   return removed;
 }
 
@@ -147,6 +165,7 @@ void SocialGraph::record_interaction(NodeId from, NodeId to, double count) {
     row.insert(it, {to, count});
   }
   interaction_totals_[from] += count;
+  bump_value(from);
 }
 
 double SocialGraph::interaction(NodeId from, NodeId to) const noexcept {
@@ -243,9 +262,13 @@ void SocialGraph::clear_node(NodeId node) {
     }
   }
   // Drop outgoing interactions.
-  interactions_[node].clear();
-  interaction_totals_[node] = 0.0;
-  // Drop incoming interactions.
+  if (!interactions_[node].empty()) {
+    interactions_[node].clear();
+    interaction_totals_[node] = 0.0;
+    bump_value(node);
+  }
+  // Drop incoming interactions. f(from, node) is part of `from`'s state
+  // (Eq. 2 normalises by from's totals), so each affected rater bumps.
   for (NodeId from = 0; from < interactions_.size(); ++from) {
     auto& row = interactions_[from];
     auto it = std::lower_bound(
@@ -256,6 +279,7 @@ void SocialGraph::clear_node(NodeId node) {
     if (it != row.end() && it->first == node) {
       interaction_totals_[from] -= it->second;
       row.erase(it);
+      bump_value(from);
     }
   }
 }

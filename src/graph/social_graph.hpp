@@ -45,6 +45,13 @@ double default_relationship_weight(Relationship r) noexcept;
 /// relationships and interactions mutate freely.
 class SocialGraph {
  public:
+  /// Monotone change counter. Per-node revisions and global epochs never
+  /// decrease and bump exactly when the corresponding state actually
+  /// changes (no-op mutator calls leave them untouched), so equality of a
+  /// revision witnessed at compute time with the current revision proves a
+  /// derived value would come out identical if re-derived.
+  using Revision = std::uint64_t;
+
   explicit SocialGraph(std::size_t node_count);
 
   std::size_t size() const noexcept { return adjacency_.size(); }
@@ -109,6 +116,29 @@ class SocialGraph {
   /// set is fixed) but is socially blank afterwards.
   void clear_node(NodeId node);
 
+  /// Revision of *all* social state owned by `node`: its neighbour list,
+  /// edge types, and outgoing interaction row f(node, *). Bumped by every
+  /// mutator that changes any of those.
+  Revision revision(NodeId node) const noexcept {
+    return node < revisions_.size() ? revisions_[node] : 0;
+  }
+
+  /// Revision of `node`'s *structural* state only — its neighbour list and
+  /// the relationship types on its edges. Interaction counters do not bump
+  /// this, so structure-derived values (common-friend sets, adjacency) can
+  /// be witnessed without churning on the rating stream.
+  Revision structure_revision(NodeId node) const noexcept {
+    return node < structure_revisions_.size() ? structure_revisions_[node] : 0;
+  }
+
+  /// Global epoch: bumps whenever any node's state changes at all.
+  Revision epoch() const noexcept { return epoch_; }
+
+  /// Structural epoch: bumps only when some edge appears, disappears, or
+  /// changes type anywhere. While it holds still, every BFS distance and
+  /// shortest path in the graph is unchanged.
+  Revision structure_epoch() const noexcept { return structure_epoch_; }
+
  private:
   struct EdgeRecord {
     NodeId to;
@@ -118,6 +148,8 @@ class SocialGraph {
   const EdgeRecord* find_edge(NodeId a, NodeId b) const noexcept;
   EdgeRecord* find_edge(NodeId a, NodeId b) noexcept;
   void check_node(NodeId a) const;
+  void bump_structure(NodeId a, NodeId b);
+  void bump_value(NodeId a);
 
   // adjacency_[a] sorted by `to`; neighbor_ids_[a] mirrors the `to` fields
   // so neighbors() can return a span without allocation.
@@ -126,6 +158,12 @@ class SocialGraph {
   // interactions_[from] sorted by target id.
   std::vector<std::vector<std::pair<NodeId, double>>> interactions_;
   std::vector<double> interaction_totals_;
+  // Change tracking (see Revision). structure_revisions_[n] <= revisions_[n]
+  // in bump count: every structural bump also bumps the full revision.
+  std::vector<Revision> revisions_;
+  std::vector<Revision> structure_revisions_;
+  Revision epoch_ = 0;
+  Revision structure_epoch_ = 0;
 };
 
 }  // namespace st::graph

@@ -381,6 +381,13 @@ RunResult Simulator::run() {
           {"inauthentic_services",
            static_cast<double>(inauthentic_services_)},
           {"fake_ratings", static_cast<double>(fake_ratings_)},
+          // How fast the social substrate churns: the graph's full epoch
+          // counts every relationship/interaction mutation, the structure
+          // epoch only edge changes. The gap between their growth rates is
+          // what the incremental SocialStateCache exploits (DESIGN.md §13).
+          {"graph_epoch", static_cast<double>(graph_.epoch())},
+          {"graph_structure_epoch",
+           static_cast<double>(graph_.structure_epoch())},
       };
       obs::Obs::instance().emit_interval("sim.cycle", system_->name(),
                                          extras);

@@ -317,5 +317,91 @@ TEST_P(GeneratorSeedProperty, GraphsAreDeterministicPerSeed) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedProperty,
                          ::testing::Values(1u, 7u, 42u, 31337u));
 
+// Revision counters back the SocialStateCache validity checks
+// (DESIGN.md §13): they must tick on every actual state change and only
+// on actual state changes.
+
+TEST(SocialGraphRevisions, EdgeMutationsBumpBothEndpointsStructurally) {
+  SocialGraph g(4);
+  EXPECT_EQ(g.epoch(), 0U);
+  EXPECT_EQ(g.structure_epoch(), 0U);
+
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  EXPECT_EQ(g.structure_revision(0), 1U);
+  EXPECT_EQ(g.structure_revision(1), 1U);
+  EXPECT_EQ(g.structure_revision(2), 0U);
+  // A structural change is also a full change (Eq. 2 reads m(i,j)).
+  EXPECT_EQ(g.revision(0), 1U);
+  EXPECT_EQ(g.revision(1), 1U);
+  EXPECT_EQ(g.structure_epoch(), 1U);
+  EXPECT_EQ(g.epoch(), 1U);
+
+  // Re-adding an existing edge changes nothing and must not bump.
+  g.add_relationship(1, 0, Relationship::kFriendship);
+  EXPECT_EQ(g.structure_revision(0), 1U);
+  EXPECT_EQ(g.structure_epoch(), 1U);
+
+  g.remove_relationship(0, 1, Relationship::kFriendship);
+  EXPECT_EQ(g.structure_revision(0), 2U);
+  EXPECT_EQ(g.structure_revision(1), 2U);
+  EXPECT_EQ(g.structure_epoch(), 2U);
+
+  // Removing a non-edge is a no-op.
+  g.remove_relationship(0, 2, Relationship::kFriendship);
+  EXPECT_EQ(g.structure_epoch(), 2U);
+}
+
+TEST(SocialGraphRevisions, InteractionsBumpOnlyTheRaterAndOnlyFully) {
+  SocialGraph g(3);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  const auto sepoch = g.structure_epoch();
+  const auto srev0 = g.structure_revision(0);
+
+  g.record_interaction(0, 1, 2.0);
+  // Interaction counts live in the rater's row; the ratee's state is
+  // untouched and the topology did not change.
+  EXPECT_EQ(g.revision(0), srev0 + 1);
+  EXPECT_EQ(g.revision(1), g.structure_revision(1));
+  EXPECT_EQ(g.structure_revision(0), srev0);
+  EXPECT_EQ(g.structure_epoch(), sepoch);
+  EXPECT_GT(g.epoch(), sepoch);
+}
+
+TEST(SocialGraphRevisions, ClearNodeBumpsEveryRaterWhoseRowShrank) {
+  SocialGraph g(4);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  g.record_interaction(0, 1, 1.0);  // 0's row mentions 1
+  g.record_interaction(2, 1, 1.0);  // 2's row mentions 1
+  g.record_interaction(2, 3, 1.0);  // unrelated entry in 2's row
+  const auto rev0 = g.revision(0);
+  const auto rev2 = g.revision(2);
+  const auto rev3 = g.revision(3);
+
+  g.clear_node(1);
+  // Raters whose incoming rows were trimmed changed observable state
+  // (their Eq. 2 denominators shrink); bystanders did not.
+  EXPECT_GT(g.revision(0), rev0);
+  EXPECT_GT(g.revision(2), rev2);
+  EXPECT_EQ(g.revision(3), rev3);
+}
+
+TEST(SocialGraphRevisions, EpochIsMonotoneOverAMixedWorkload) {
+  stats::Rng rng(99);
+  SocialGraph g = barabasi_albert(30, 2, rng);
+  auto last = g.epoch();
+  for (int step = 0; step < 50; ++step) {
+    const auto a = static_cast<NodeId>(rng.index(30));
+    auto b = static_cast<NodeId>(rng.index(30));
+    if (b == a) b = (b + 1) % 30;
+    if (rng.bernoulli(0.3)) {
+      g.add_relationship(a, b, Relationship::kColleague);
+    } else {
+      g.record_interaction(a, b);
+    }
+    EXPECT_GE(g.epoch(), last);
+    last = g.epoch();
+  }
+}
+
 }  // namespace
 }  // namespace st::graph

@@ -1,0 +1,596 @@
+// Incremental social-state correctness suite (DESIGN.md §13).
+//
+// The SocialStateCache persists across update intervals and revalidates
+// entries against per-node revision counters; the contract is that a warm
+// cache is a pure performance optimisation. Three layers of evidence:
+//   1. unit tests on the cache itself — entries hit while the witnessed
+//      state holds, miss the moment it changes, and the witness kinds are
+//      exactly as precise as DESIGN.md §13 claims (e.g. a friend-of-friend
+//      entry survives interaction churn on the *ratee* but not on the
+//      rater or a common friend);
+//   2. a cold-vs-warm property test in the style of
+//      parallel_update_test.cpp — full simulations where one plugin keeps
+//      its cache across intervals and a second has it wiped before every
+//      update() must produce bit-identical adjusted ratings, reports,
+//      flagged pairs, and downstream reputations across collusion models,
+//      seeds, and thread counts;
+//   3. a whitewashing regression — forget_node must drop every cached
+//      entry mentioning the discarded identity, and a warm plugin driven
+//      across a whitewash event must stay bit-identical to a cold one.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collusion/models.hpp"
+#include "core/social_state_cache.hpp"
+#include "core/socialtrust.hpp"
+#include "graph/generators.hpp"
+#include "reputation/paper_eigentrust.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace st {
+namespace {
+
+using core::ClosenessModel;
+using core::InterestProfiles;
+using core::SocialStateCache;
+using core::SocialTrustPlugin;
+using graph::Relationship;
+using graph::SocialGraph;
+using reputation::Rating;
+
+/// Bit-level double equality: distinguishes +0/-0 and catches last-ulp
+/// drift that EXPECT_DOUBLE_EQ's 4-ulp tolerance would wave through.
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bit patterns differ)";
+}
+
+/// Delta of the cache's cumulative stats around one operation.
+struct StatsDelta {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t structure_hits = 0;
+  std::uint64_t structure_misses = 0;
+};
+
+template <typename Fn>
+StatsDelta stats_delta(SocialStateCache& cache, Fn&& fn) {
+  const auto before = cache.stats();
+  fn();
+  const auto after = cache.stats();
+  return StatsDelta{after.hits - before.hits, after.misses - before.misses,
+                    after.invalidations - before.invalidations,
+                    after.structure_hits - before.structure_hits,
+                    after.structure_misses - before.structure_misses};
+}
+
+// --- 1. cache unit tests ----------------------------------------------------
+
+TEST(SocialStateCacheTest, AdjacentEntryWitnessesOnlyTheRater) {
+  SocialGraph g(4);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  g.record_interaction(0, 1, 3.0);
+  g.record_interaction(0, 2, 1.0);
+  g.record_interaction(1, 0, 2.0);
+  ClosenessModel model;
+  SocialStateCache cache;
+
+  double v0 = 0.0;
+  auto d = stats_delta(cache, [&] { v0 = cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.misses, 1U);
+  EXPECT_TRUE(bits_equal(v0, model.closeness(g, 0, 1)));
+
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.hits, 1U);
+  EXPECT_EQ(d.misses, 0U);
+
+  // The ratee's outgoing interactions are not part of Omega_c(0,1): the
+  // entry must survive churn on node 1...
+  g.record_interaction(1, 3, 5.0);
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.hits, 1U);
+
+  // ...but any change to the rater's interaction row (even towards a third
+  // node — it changes the Eq. 2 denominator) invalidates it.
+  g.record_interaction(0, 3, 1.0);
+  double v1 = 0.0;
+  d = stats_delta(cache, [&] { v1 = cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.misses, 1U);
+  EXPECT_EQ(d.invalidations, 1U);
+  EXPECT_TRUE(bits_equal(v1, model.closeness(g, 0, 1)));
+}
+
+TEST(SocialStateCacheTest, FofEntrySurvivesRateeInteractionChurn) {
+  // 0 and 1 share the common friend 2 but are not adjacent.
+  SocialGraph g(5);
+  g.add_relationship(0, 2, Relationship::kFriendship);
+  g.add_relationship(1, 2, Relationship::kColleague);
+  g.record_interaction(0, 2, 2.0);
+  g.record_interaction(2, 1, 4.0);
+  g.record_interaction(2, 0, 1.0);
+  ClosenessModel model;
+  SocialStateCache cache;
+
+  auto d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.misses, 1U);
+  EXPECT_EQ(d.structure_misses, 1U);  // the common-friend set
+
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.hits, 1U);
+
+  // j = 1 is witnessed structurally only: Eq. 3 reads adjacent_closeness
+  // (0,k) and (k,1), never 1's outgoing interactions.
+  g.record_interaction(1, 4, 7.0);
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.hits, 1U);
+
+  // A common friend's interactions feed the Eq. 3 terms: invalidate.
+  g.record_interaction(2, 4, 1.0);
+  double fresh = 0.0;
+  d = stats_delta(cache, [&] { fresh = cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.misses, 1U);
+  // The common-friend *set* is untouched by interaction churn, so the
+  // recompute reuses the structure layer — the cross-interval win the
+  // bench measures.
+  EXPECT_EQ(d.structure_hits, 1U);
+  EXPECT_EQ(d.structure_misses, 0U);
+  EXPECT_TRUE(bits_equal(fresh, model.closeness(g, 0, 1)));
+
+  // An edge on j can change the common set itself: invalidate.
+  cache.closeness(model, g, 0, 1);
+  g.add_relationship(1, 3, Relationship::kFriendship);
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.misses, 1U);
+  EXPECT_EQ(d.structure_misses, 1U);  // structure witness of 1 changed
+}
+
+TEST(SocialStateCacheTest, PathEntriesGateOnStructureAndSpareTheSink) {
+  // Chain 0-1-2-3: no common friends between 0 and 3, so Omega_c(0,3) is
+  // the Eq. 4 bottleneck along the unique shortest path.
+  SocialGraph g(8);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  g.add_relationship(1, 2, Relationship::kFriendship);
+  g.add_relationship(2, 3, Relationship::kFriendship);
+  g.record_interaction(0, 1, 1.0);
+  g.record_interaction(1, 2, 2.0);
+  g.record_interaction(2, 3, 3.0);
+  ClosenessModel model;
+  SocialStateCache cache;
+
+  auto d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 3); });
+  EXPECT_EQ(d.misses, 1U);
+
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 3); });
+  EXPECT_EQ(d.hits, 1U);
+
+  // The sink's outgoing interactions are never read by Eq. 4.
+  g.record_interaction(3, 0, 9.0);
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 3); });
+  EXPECT_EQ(d.hits, 1U);
+
+  // An interior path node's interactions are one of the min() terms.
+  g.record_interaction(1, 0, 1.0);
+  double fresh = 0.0;
+  d = stats_delta(cache, [&] { fresh = cache.closeness(model, g, 0, 3); });
+  EXPECT_EQ(d.misses, 1U);
+  // The structure is unchanged: both the (empty) common-friend set and the
+  // path itself are served from the structure layer.
+  EXPECT_EQ(d.structure_hits, 2U);
+  EXPECT_TRUE(bits_equal(fresh, model.closeness(g, 0, 3)));
+
+  // Any edge change anywhere can shorten a shortest path, so path-backed
+  // entries gate on the structure epoch even when the edge is unrelated.
+  cache.closeness(model, g, 0, 3);
+  g.add_relationship(5, 6, Relationship::kBusiness);
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 3); });
+  EXPECT_EQ(d.misses, 1U);
+  EXPECT_EQ(d.structure_misses, 1U);  // BFS redone
+}
+
+TEST(SocialStateCacheTest, UnreachableEntriesSurviveInteractionChurn) {
+  SocialGraph g(4);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  // Node 3 is isolated: Omega_c(0,3) = 0 via the unreachable branch.
+  ClosenessModel model;
+  SocialStateCache cache;
+
+  auto d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 3); });
+  EXPECT_EQ(d.misses, 1U);
+  EXPECT_TRUE(bits_equal(cache.closeness(model, g, 0, 3), 0.0));
+
+  // Interaction churn cannot create reachability.
+  g.record_interaction(0, 1, 5.0);
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 3); });
+  EXPECT_EQ(d.hits, 1U);
+
+  // A new edge can: the entry must die with the structure epoch.
+  g.add_relationship(1, 3, Relationship::kFriendship);
+  double fresh = 0.0;
+  d = stats_delta(cache, [&] { fresh = cache.closeness(model, g, 0, 3); });
+  EXPECT_EQ(d.misses, 1U);
+  EXPECT_GT(fresh, 0.0);  // now reachable through 1 (common-friend branch)
+  EXPECT_TRUE(bits_equal(fresh, model.closeness(g, 0, 3)));
+}
+
+TEST(SocialStateCacheTest, ClosenessKeysAreDirectional) {
+  SocialGraph g(3);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  g.record_interaction(0, 1, 1.0);
+  g.record_interaction(1, 0, 2.0);
+  g.record_interaction(1, 2, 2.0);
+  ClosenessModel model;
+  SocialStateCache cache;
+
+  cache.closeness(model, g, 0, 1);
+  // Omega_c is not symmetric (Eq. 2 normalises by the rater's totals), so
+  // the reverse orientation is its own entry and its own compute.
+  auto d = stats_delta(cache, [&] { cache.closeness(model, g, 1, 0); });
+  EXPECT_EQ(d.misses, 1U);
+  EXPECT_TRUE(bits_equal(cache.closeness(model, g, 1, 0),
+                         model.closeness(g, 1, 0)));
+}
+
+TEST(SocialStateCacheTest, SimilarityUsesCanonicalKeyAndProfileRevisions) {
+  InterestProfiles profiles(3, 8);
+  const reputation::InterestId a_ints[] = {1, 2, 5};
+  const reputation::InterestId b_ints[] = {2, 5, 7};
+  profiles.set_interests(0, a_ints);
+  profiles.set_interests(1, b_ints);
+  profiles.record_request(0, 2, 3.0);
+  profiles.record_request(1, 2, 1.0);
+  profiles.record_request(1, 5, 2.0);
+  SocialStateCache cache;
+
+  for (bool weighted : {false, true}) {
+    SocialStateCache fresh_cache;
+    double v01 = 0.0, v10 = 0.0;
+    auto d = stats_delta(fresh_cache, [&] {
+      v01 = fresh_cache.similarity(profiles, 0, 1, weighted);
+    });
+    EXPECT_EQ(d.misses, 1U);
+    // Symmetric function, canonical key: the reverse orientation hits.
+    d = stats_delta(fresh_cache, [&] {
+      v10 = fresh_cache.similarity(profiles, 1, 0, weighted);
+    });
+    EXPECT_EQ(d.hits, 1U);
+    EXPECT_TRUE(bits_equal(v01, v10));
+    const double expected = weighted ? profiles.weighted_similarity(0, 1)
+                                     : profiles.similarity(0, 1);
+    EXPECT_TRUE(bits_equal(v01, expected));
+
+    // Either endpoint's profile revision invalidates.
+    profiles.record_request(0, 5, 1.0);
+    double fresh = 0.0;
+    d = stats_delta(fresh_cache, [&] {
+      fresh = fresh_cache.similarity(profiles, 0, 1, weighted);
+    });
+    EXPECT_EQ(d.misses, 1U);
+    EXPECT_EQ(d.invalidations, 1U);
+    const double recomputed = weighted ? profiles.weighted_similarity(0, 1)
+                                       : profiles.similarity(0, 1);
+    EXPECT_TRUE(bits_equal(fresh, recomputed));
+  }
+}
+
+TEST(SocialStateCacheTest, WitnessOverflowDegradesToFullEpochStamp) {
+  // 0 and 1 share kMaxWitnesses common friends (witness set would need
+  // kMaxWitnesses + 2 entries), so the entry falls back to a conservative
+  // full-epoch stamp: ANY mutation anywhere invalidates it.
+  const std::size_t hub = SocialStateCache::kMaxWitnesses;
+  SocialGraph g(hub + 3);
+  for (std::size_t k = 2; k < hub + 2; ++k) {
+    g.add_relationship(0, static_cast<graph::NodeId>(k),
+                       Relationship::kFriendship);
+    g.add_relationship(1, static_cast<graph::NodeId>(k),
+                       Relationship::kFriendship);
+  }
+  g.record_interaction(0, 2, 1.0);
+  g.record_interaction(2, 1, 1.0);
+  ClosenessModel model;
+  SocialStateCache cache;
+
+  cache.closeness(model, g, 0, 1);
+  auto d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.hits, 1U);
+
+  // A node uninvolved in the pair's neighbourhood mutates: a precise
+  // witness set would survive this, the epoch stamp cannot.
+  g.record_interaction(static_cast<graph::NodeId>(hub + 2), 0, 1.0);
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.misses, 1U);
+  EXPECT_TRUE(bits_equal(cache.closeness(model, g, 0, 1),
+                         model.closeness(g, 0, 1)));
+}
+
+TEST(SocialStateCacheTest, InvalidateNodeErasesEveryMention) {
+  SocialGraph g(6);
+  g.add_relationship(0, 2, Relationship::kFriendship);
+  g.add_relationship(1, 2, Relationship::kFriendship);
+  g.add_relationship(3, 4, Relationship::kFriendship);
+  g.record_interaction(0, 2, 1.0);
+  g.record_interaction(3, 4, 1.0);
+  ClosenessModel model;
+  SocialStateCache cache;
+
+  cache.closeness(model, g, 0, 1);  // FoF entry witnessing common friend 2
+  cache.closeness(model, g, 3, 4);  // adjacent entry, unrelated to 2
+  const std::size_t before = cache.size();
+  EXPECT_EQ(before, 2U);
+
+  auto d = stats_delta(cache, [&] { cache.invalidate_node(2); });
+  EXPECT_GT(d.invalidations, 0U);
+  EXPECT_LT(cache.size(), before);
+
+  // The unrelated entry survives; the entry through node 2 is gone even
+  // though no revision changed.
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 3, 4); });
+  EXPECT_EQ(d.hits, 1U);
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.misses, 1U);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0U);
+  EXPECT_EQ(cache.structure_size(), 0U);
+}
+
+// --- 2. cold-vs-warm property test ------------------------------------------
+
+struct PluginCapture {
+  SocialTrustPlugin* plugin = nullptr;
+};
+
+/// Forwarding wrapper that wipes the plugin's persistent cache before
+/// every interval — the old per-interval-memo behaviour. Cold-vs-warm
+/// equality is exactly the claim that the cache is a pure optimisation.
+class ColdCacheSystem final : public reputation::ReputationSystem {
+ public:
+  explicit ColdCacheSystem(std::unique_ptr<SocialTrustPlugin> plugin)
+      : plugin_(std::move(plugin)) {}
+  std::string_view name() const noexcept override { return plugin_->name(); }
+  std::size_t size() const noexcept override { return plugin_->size(); }
+  void update(std::span<const Rating> cycle_ratings) override {
+    plugin_->social_cache().clear();
+    plugin_->update(cycle_ratings);
+  }
+  double reputation(reputation::NodeId node) const override {
+    return plugin_->reputation(node);
+  }
+  std::span<const double> reputations() const noexcept override {
+    return plugin_->reputations();
+  }
+  void reset() override { plugin_->reset(); }
+  void forget_node(reputation::NodeId node) override {
+    plugin_->forget_node(node);
+  }
+
+ private:
+  std::unique_ptr<SocialTrustPlugin> plugin_;
+};
+
+sim::SystemFactory make_factory(core::SocialTrustConfig cfg,
+                                PluginCapture& capture, bool cold) {
+  return [cfg, &capture, cold](const graph::SocialGraph& graph,
+                               const InterestProfiles& profiles,
+                               const std::vector<sim::NodeId>& pretrusted,
+                               std::size_t n)
+             -> std::unique_ptr<reputation::ReputationSystem> {
+    auto inner = std::make_unique<reputation::PaperEigenTrust>(
+        n, pretrusted, reputation::PaperEigenTrustConfig{});
+    auto plugin = std::make_unique<SocialTrustPlugin>(std::move(inner), graph,
+                                                      profiles, cfg);
+    capture.plugin = plugin.get();
+    if (cold) return std::make_unique<ColdCacheSystem>(std::move(plugin));
+    return plugin;
+  };
+}
+
+/// Scaled-down Section 5.1 network, as in parallel_update_test.cpp.
+sim::SimConfig small_config() {
+  sim::SimConfig cfg;
+  cfg.node_count = 72;
+  cfg.pretrusted_count = 5;
+  cfg.colluder_count = 16;
+  cfg.query_cycles_per_cycle = 8;
+  cfg.simulation_cycles = 3;
+  return cfg;
+}
+
+std::unique_ptr<sim::CollusionStrategy> make_strategy(
+    const std::string& model) {
+  collusion::CollusionOptions options;
+  if (model == "none") return nullptr;
+  if (model == "PCM")
+    return std::make_unique<collusion::PairwiseCollusion>(options);
+  if (model == "MCM")
+    return std::make_unique<collusion::MultiNodeCollusion>(options);
+  return std::make_unique<collusion::MutualMultiNodeCollusion>(options);
+}
+
+struct Snapshot {
+  std::vector<Rating> adjusted;
+  core::AdjustmentReport report;
+  std::vector<double> reputations;
+  SocialStateCache::StatsSnapshot cache_stats;
+};
+
+Snapshot run_once(const std::string& model, std::uint64_t seed,
+                  std::size_t threads, bool cold) {
+  core::SocialTrustConfig cfg;
+  cfg.threads = threads;
+  PluginCapture capture;
+  sim::Simulator simulator(small_config(),
+                           make_factory(cfg, capture, cold),
+                           make_strategy(model), seed);
+  simulator.run();
+  Snapshot snap;
+  auto adjusted = capture.plugin->last_adjusted();
+  snap.adjusted.assign(adjusted.begin(), adjusted.end());
+  snap.report = capture.plugin->last_report();
+  auto reps = capture.plugin->reputations();
+  snap.reputations.assign(reps.begin(), reps.end());
+  snap.cache_stats = capture.plugin->social_cache().stats();
+  return snap;
+}
+
+void expect_identical(const Snapshot& cold, const Snapshot& warm,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+
+  ASSERT_EQ(cold.adjusted.size(), warm.adjusted.size());
+  for (std::size_t i = 0; i < cold.adjusted.size(); ++i) {
+    EXPECT_EQ(cold.adjusted[i].rater, warm.adjusted[i].rater) << i;
+    EXPECT_EQ(cold.adjusted[i].ratee, warm.adjusted[i].ratee) << i;
+    EXPECT_TRUE(bits_equal(cold.adjusted[i].value, warm.adjusted[i].value))
+        << "rating " << i;
+  }
+
+  const core::AdjustmentReport& a = cold.report;
+  const core::AdjustmentReport& b = warm.report;
+  EXPECT_EQ(a.pairs_total, b.pairs_total);
+  EXPECT_EQ(a.pairs_flagged, b.pairs_flagged);
+  EXPECT_EQ(a.ratings_adjusted, b.ratings_adjusted);
+  EXPECT_EQ(a.b1, b.b1);
+  EXPECT_EQ(a.b2, b.b2);
+  EXPECT_EQ(a.b3, b.b3);
+  EXPECT_EQ(a.b4, b.b4);
+  EXPECT_TRUE(bits_equal(a.mean_weight, b.mean_weight)) << "mean_weight";
+
+  ASSERT_EQ(a.flagged.size(), b.flagged.size());
+  for (std::size_t i = 0; i < a.flagged.size(); ++i) {
+    EXPECT_EQ(a.flagged[i].rater, b.flagged[i].rater) << i;
+    EXPECT_EQ(a.flagged[i].ratee, b.flagged[i].ratee) << i;
+    EXPECT_EQ(a.flagged[i].behavior, b.flagged[i].behavior) << i;
+    EXPECT_TRUE(bits_equal(a.flagged[i].weight, b.flagged[i].weight)) << i;
+  }
+
+  ASSERT_EQ(cold.reputations.size(), warm.reputations.size());
+  for (std::size_t v = 0; v < cold.reputations.size(); ++v) {
+    EXPECT_TRUE(bits_equal(cold.reputations[v], warm.reputations[v]))
+        << "node " << v;
+  }
+}
+
+class ColdVsWarmEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ColdVsWarmEquivalence, BitIdenticalAcrossIntervalsAndThreads) {
+  const std::string model = GetParam();
+  for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    Snapshot cold = run_once(model, seed, 1, /*cold=*/true);
+    for (std::size_t threads : {1UL, 2UL, 4UL}) {
+      Snapshot warm = run_once(model, seed, threads, /*cold=*/false);
+      // The warm run must actually have reused entries across intervals,
+      // or this compares two cold runs and proves nothing.
+      EXPECT_GT(warm.cache_stats.hits, 0U)
+          << model << " seed=" << seed << " threads=" << threads;
+      expect_identical(cold, warm,
+                       model + " seed=" + std::to_string(seed) +
+                           " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CollusionModels, ColdVsWarmEquivalence,
+                         ::testing::Values("none", "PCM", "MCM", "MMM"));
+
+// --- 3. whitewashing regression ---------------------------------------------
+
+/// Directly driven plugin pair (no simulator): one warm, one cold, fed the
+/// identical interval sequence over the identical shared social state,
+/// with a whitewash event in the middle. Any stale entry the warm cache
+/// serves after the whitewash diverges the two and fails the bit compare.
+TEST(IncrementalWhitewashing, ForgetNodeInvalidatesStaleEntries) {
+  stats::Rng rng(1234);
+  SocialGraph g = graph::watts_strogatz(48, 6, 0.2, rng);
+  InterestProfiles profiles(48, 16);
+  for (graph::NodeId n = 0; n < 48; ++n) {
+    const reputation::InterestId ints[] = {
+        static_cast<reputation::InterestId>(n % 16),
+        static_cast<reputation::InterestId>((n + 5) % 16)};
+    profiles.set_interests(n, ints);
+  }
+
+  core::SocialTrustConfig cfg;
+  cfg.threads = 1;
+  auto make_plugin = [&] {
+    return std::make_unique<SocialTrustPlugin>(
+        std::make_unique<reputation::PaperEigenTrust>(
+            48, std::vector<reputation::NodeId>{0, 1},
+            reputation::PaperEigenTrustConfig{}),
+        g, profiles, cfg);
+  };
+  auto warm = make_plugin();
+  auto cold = make_plugin();
+
+  // Deterministic interval streams; every rating also mutates the social
+  // state the way Simulator::submit_rating does.
+  auto make_interval = [&](std::uint64_t seed) {
+    stats::Rng interval_rng(seed);
+    std::vector<Rating> ratings;
+    for (std::size_t q = 0; q < 160; ++q) {
+      const auto rater = static_cast<reputation::NodeId>(
+          interval_rng.index(48));
+      auto ratee = static_cast<reputation::NodeId>(interval_rng.index(48));
+      if (ratee == rater) ratee = (ratee + 1) % 48;
+      const double value = interval_rng.bernoulli(0.8) ? 1.0 : -1.0;
+      ratings.push_back(Rating{rater, ratee, value, 0, 0,
+                               static_cast<reputation::InterestId>(
+                                   interval_rng.index(16))});
+      g.record_interaction(rater, ratee);
+      profiles.record_request(rater, ratings.back().interest);
+    }
+    return ratings;
+  };
+
+  auto run_interval = [&](const std::vector<Rating>& ratings) {
+    cold->social_cache().clear();
+    cold->update(ratings);
+    warm->update(ratings);
+    auto ca = cold->last_adjusted();
+    auto wa = warm->last_adjusted();
+    ASSERT_EQ(ca.size(), wa.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      ASSERT_TRUE(bits_equal(ca[i].value, wa[i].value)) << "rating " << i;
+    }
+    auto cr = cold->reputations();
+    auto wr = warm->reputations();
+    for (std::size_t v = 0; v < cr.size(); ++v) {
+      ASSERT_TRUE(bits_equal(cr[v], wr[v])) << "node " << v;
+    }
+  };
+
+  run_interval(make_interval(1));
+  run_interval(make_interval(2));
+  ASSERT_GT(warm->social_cache().stats().hits, 0U);
+
+  // Whitewash node 7, exactly as Simulator::whitewash does it.
+  const reputation::NodeId w = 7;
+  const std::size_t entries_before = warm->social_cache().size();
+  const auto inval_before = warm->social_cache().stats().invalidations;
+  warm->forget_node(w);
+  cold->forget_node(w);
+  // forget_node alone must already have dropped every cached entry
+  // mentioning the node — before any graph mutation bumps a revision.
+  EXPECT_LT(warm->social_cache().size(), entries_before);
+  EXPECT_GT(warm->social_cache().stats().invalidations, inval_before);
+  g.clear_node(w);
+  profiles.clear_requests(w);
+
+  // The discarded identity re-joins and gets rated again: warm results
+  // must match a from-scratch recompute, not the pre-whitewash state.
+  run_interval(make_interval(3));
+  run_interval(make_interval(4));
+}
+
+}  // namespace
+}  // namespace st

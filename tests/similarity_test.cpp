@@ -242,5 +242,61 @@ TEST_P(SimilarityRangeProperty, AllMeasuresStayInUnitInterval) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityRangeProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+// Profile revisions back the SocialStateCache similarity entries
+// (DESIGN.md §13): bump on every observable change, never on no-ops.
+
+TEST(ProfileRevisions, BumpOnlyOnActualChange) {
+  InterestProfiles p(3, 8);
+  EXPECT_EQ(p.revision(0), 0U);
+  EXPECT_EQ(p.epoch(), 0U);
+
+  const InterestId ints[] = {1, 4, 6};
+  p.set_interests(0, ints);
+  const auto after_set = p.revision(0);
+  EXPECT_GT(after_set, 0U);
+  EXPECT_EQ(p.revision(1), 0U);  // other nodes untouched
+  EXPECT_EQ(p.epoch(), after_set);
+
+  // Re-declaring the identical set (even permuted — declarations are
+  // stored sorted) is observably a no-op.
+  const InterestId same[] = {6, 1, 4};
+  p.set_interests(0, same);
+  EXPECT_EQ(p.revision(0), after_set);
+
+  p.add_interest(0, 4);  // already declared: no-op
+  EXPECT_EQ(p.revision(0), after_set);
+  p.add_interest(0, 7);
+  EXPECT_GT(p.revision(0), after_set);
+
+  const auto before_remove = p.revision(0);
+  p.remove_interest(0, 3);  // never declared: no-op
+  EXPECT_EQ(p.revision(0), before_remove);
+  p.remove_interest(0, 7);
+  EXPECT_GT(p.revision(0), before_remove);
+}
+
+TEST(ProfileRevisions, RequestsAndClearsBumpTheRequester) {
+  InterestProfiles p(2, 4);
+  const auto rev0 = p.revision(0);
+
+  p.record_request(0, 2, 3.0);
+  EXPECT_GT(p.revision(0), rev0);
+  EXPECT_EQ(p.revision(1), 0U);
+
+  // Guarded-out requests (bad category, non-positive count) change
+  // nothing and must not bump.
+  const auto before = p.revision(0);
+  p.record_request(0, 99, 1.0);
+  p.record_request(0, 2, 0.0);
+  EXPECT_EQ(p.revision(0), before);
+
+  p.clear_requests(0);
+  EXPECT_GT(p.revision(0), before);
+  // Clearing an already-empty history is a no-op.
+  const auto after_clear = p.revision(0);
+  p.clear_requests(0);
+  EXPECT_EQ(p.revision(0), after_clear);
+}
+
 }  // namespace
 }  // namespace st::core

@@ -168,6 +168,86 @@ double sum() {
 """)
         self.assert_clean(self.lint(f))
 
+    def test_det2_accumulate_over_begin(self) -> None:
+        f = self.write("src/core/bad.cpp", """
+#include <numeric>
+#include <unordered_map>
+double total() {
+  std::unordered_map<int, double> weights;
+  return std::accumulate(weights.begin(), weights.end(), 0.0,
+                         [](double t, const auto& kv) {
+                           return t + kv.second;
+                         });
+}
+""")
+        self.assert_fires(self.lint(f), "DET-2")
+
+    def test_det2_iterator_pair_insert(self) -> None:
+        f = self.write("src/reputation/bad.cpp", """
+#include <unordered_set>
+#include <vector>
+std::vector<int> flatten() {
+  std::unordered_set<int> flagged;
+  std::vector<int> out;
+  out.insert(out.end(), flagged.begin(), flagged.end());
+  return out;
+}
+""")
+        self.assert_fires(self.lint(f), "DET-2")
+
+    def test_det2_iterator_pair_assign(self) -> None:
+        f = self.write("src/sim/bad.cpp", """
+#include <unordered_map>
+#include <vector>
+void snapshot() {
+  std::unordered_map<int, double> totals;
+  std::vector<std::pair<int, double>> out;
+  out.assign(totals.cbegin(), totals.cend());
+}
+""")
+        self.assert_fires(self.lint(f), "DET-2")
+
+    def test_det2_ranges_for_each(self) -> None:
+        f = self.write("src/core/bad.cpp", """
+#include <algorithm>
+#include <unordered_map>
+double total() {
+  std::unordered_map<int, double> weights;
+  double t = 0.0;
+  std::ranges::for_each(weights, [&](const auto& kv) { t += kv.second; });
+  return t;
+}
+""")
+        self.assert_fires(self.lint(f), "DET-2")
+
+    def test_det2_algorithms_over_vector_pass(self) -> None:
+        f = self.write("src/core/ok.cpp", """
+#include <algorithm>
+#include <numeric>
+#include <vector>
+double total() {
+  std::vector<double> values;
+  std::vector<double> out;
+  out.insert(out.end(), values.begin(), values.end());
+  std::ranges::for_each(values, [](double) {});
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_det2_find_over_unordered_passes(self) -> None:
+        # Order-insensitive algorithms are fine: the result does not
+        # depend on traversal order.
+        f = self.write("src/core/ok.cpp", """
+#include <algorithm>
+#include <unordered_set>
+bool has(int x) {
+  std::unordered_set<int> s;
+  return std::find(s.begin(), s.end(), x) != s.end();
+}
+""")
+        self.assert_clean(self.lint(f))
+
     def test_det2_vector_loop_passes(self) -> None:
         f = self.write("src/core/ok.cpp", """
 #include <vector>
@@ -360,7 +440,8 @@ class OutputAndCliTests(LintFixtureCase):
         proc = run_lint("--strict",
                         str(REPO_ROOT / "src"),
                         str(REPO_ROOT / "bench"),
-                        str(REPO_ROOT / "tests"))
+                        str(REPO_ROOT / "tests"),
+                        str(REPO_ROOT / "examples"))
         self.assertEqual(proc.returncode, 0, proc.stderr)
 
 

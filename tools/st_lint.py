@@ -13,12 +13,17 @@ rationale and etiquette):
   DET-1  nondeterminism sources (``rand``/``srand``/``time``/
          ``std::random_device``/``system_clock``/clock-as-seed) outside
          src/stats/rng.* — all randomness flows through st::stats::Rng.
-  DET-2  range-for or iterator loop over ``std::unordered_map`` /
-         ``std::unordered_set`` in src/core/, src/reputation/, src/sim/.
-         Hash-order iteration feeding an ordered output or a floating-
-         point reduction is exactly the bug class the blocked
-         parallel_for design exists to prevent; flatten to a vector and
-         sort first, or annotate the sorted-reduction pattern.
+  DET-2  hash-order traversal of ``std::unordered_map`` /
+         ``std::unordered_set`` in src/core/, src/reputation/, src/sim/:
+         range-for and iterator loops, ``begin()``/``cbegin()`` handed to
+         an order-sensitive algorithm (``accumulate``, ``copy``,
+         ``for_each``, ``transform``, ...), iterator-pair
+         ``.insert(...)``/``.assign(...)`` into another container, and
+         ``ranges::`` algorithms over the container itself. Hash-order
+         iteration feeding an ordered output or a floating-point
+         reduction is exactly the bug class the blocked parallel_for
+         design exists to prevent; flatten to a vector and sort first,
+         or annotate the sorted-reduction pattern.
   CON-1  naked ``std::thread`` / ``.detach()`` outside
          src/util/thread_pool.* — all parallelism goes through the pool
          so shutdown stays exception-safe and worker counts stay bounded.
@@ -37,8 +42,9 @@ it. The reason is mandatory under ``--strict``.
 Usage:
     python3 tools/st_lint.py [--strict] [--json] [--list-rules] [path ...]
 
-Paths default to ``src bench tests`` relative to the repo root; a path
-may be a directory (scanned recursively for C++ sources) or a file.
+Paths default to ``src bench tests examples`` relative to the repo
+root; a path may be a directory (scanned recursively for C++ sources)
+or a file.
 
 Exit status: 0 when the tree is clean, 1 when findings (or, under
 ``--strict``, suppression-hygiene violations) were reported, 2 on usage
@@ -59,12 +65,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hxx"}
 HEADER_SUFFIXES = {".hpp", ".h", ".hxx"}
 EXCLUDED_DIR_NAMES = {"build", ".git", "third_party"}
-DEFAULT_PATHS = ["src", "bench", "tests"]
+DEFAULT_PATHS = ["src", "bench", "tests", "examples"]
 
 RULES = {
     "DET-1": "nondeterminism source outside src/stats/rng.*",
-    "DET-2": "hash-order iteration over an unordered container in a "
-             "determinism-critical directory",
+    "DET-2": "hash-order traversal (loop, algorithm, or range copy) over "
+             "an unordered container in a determinism-critical directory",
     "CON-1": "naked std::thread / detach() outside src/util/thread_pool.*",
     "CON-2": "raw new/delete/malloc outside allow-listed files",
     "HYG-1": ".cpp does not include its own header first",
@@ -92,6 +98,27 @@ RANGE_FOR_RE = re.compile(
 TOP_LEVEL_COLON_RE = re.compile(r"(?<!:):(?!:)")
 TRAILING_IDENT_RE = re.compile(r"(\w+)\s*(?:\(\s*\))?\s*$")
 ITER_BEGIN_RE = re.compile(r"=\s*(\w+)\s*\.\s*c?begin\s*\(")
+
+# Order-sensitive consumers beyond loops: handing an unordered
+# container's begin() to one of these bakes hash order into an output
+# stream or a floating-point reduction just as surely as a range-for.
+ORDER_SENSITIVE_ALGOS = (
+    "accumulate", "reduce", "partial_sum", "inclusive_scan",
+    "exclusive_scan", "copy", "copy_n", "copy_if", "for_each",
+    "transform",
+)
+ALGO_BEGIN_RE = re.compile(
+    r"\b(" + "|".join(ORDER_SENSITIVE_ALGOS) +
+    r")\s*\(\s*(\w+)\s*\.\s*c?begin\s*\(")
+# v.insert(v.end(), m.begin(), m.end()) / v.assign(m.begin(), m.end()):
+# materialises the container in hash order.
+RANGE_INSERT_RE = re.compile(
+    r"\.\s*(?:insert|assign)\s*\(\s*(?:[^;]*?,\s*)?(\w+)\s*\.\s*"
+    r"c?begin\s*\(")
+# ranges:: algorithms take the container itself as the first argument.
+RANGES_ALGO_RE = re.compile(
+    r"\branges\s*::\s*(" + "|".join(ORDER_SENSITIVE_ALGOS) +
+    r")\s*\(\s*(\w+)\s*[,)]")
 
 
 @dataclass
@@ -401,6 +428,27 @@ def check_det2(sf: SourceFile, aliases: set[str],
                      f"iterator loop over unordered container "
                      f"'{it.group(1)}': hash order is an implementation "
                      f"accident; flatten to a vector and sort first")
+    for match in ALGO_BEGIN_RE.finditer(text):
+        algo, ident = match.group(1), match.group(2)
+        if ident in names:
+            emit(findings, sf, line_of_offset(text, match.start()), "DET-2",
+                 f"{algo}() over unordered container '{ident}': the "
+                 f"accumulation/output order is hash order; flatten to a "
+                 f"vector and sort first")
+    for match in RANGE_INSERT_RE.finditer(text):
+        ident = match.group(1)
+        if ident in names:
+            emit(findings, sf, line_of_offset(text, match.start()), "DET-2",
+                 f"iterator-pair insert/assign from unordered container "
+                 f"'{ident}' materialises hash order; flatten to a vector "
+                 f"and sort first")
+    for match in RANGES_ALGO_RE.finditer(text):
+        algo, ident = match.group(1), match.group(2)
+        if ident in names:
+            emit(findings, sf, line_of_offset(text, match.start()), "DET-2",
+                 f"ranges::{algo} over unordered container '{ident}': the "
+                 f"traversal order is hash order; flatten to a vector and "
+                 f"sort first")
 
 
 # --- CON-1: naked threads ---------------------------------------------------
