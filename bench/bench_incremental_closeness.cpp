@@ -20,6 +20,12 @@
 //   --nodes <list>      comma-separated node counts       (default 1000,10000)
 //   --intervals <n>     update intervals per run          (default 8)
 //   --churn <pct>       % of nodes mutating per interval  (default 8)
+//   --rel-churn <pct>   % of nodes whose *relationships* are rewired per
+//                       interval (friendships added and removed mid-run,
+//                       default 0). Topology churn bumps structure
+//                       revisions, so the cached common-friend sets and
+//                       BFS paths actually miss — the adversarial preset
+//                       for the structure layer's persistence bet.
 //   --reps <n>          repetitions, min totals are kept  (default 2)
 //   --json <path>       also write results as JSON (the
 //                       BENCH_incremental_closeness.json artifact)
@@ -31,6 +37,10 @@
 // its cold twin, if the steady-state cache hit rate falls below 80%,
 // or (full runs only — --quick skips the timing gate to stay robust on
 // loaded CI machines) if the steady-state speedup falls below 2x.
+// With --rel-churn > 0 the hit-rate and speedup gates are reported but
+// not enforced: rewiring the topology every interval deliberately
+// defeats the structure layer's steady-state assumption, so the only
+// hard claim left — and the one still gated — is bit-identity.
 
 #include <algorithm>
 #include <bit>
@@ -168,6 +178,45 @@ std::size_t apply_churn(Workload& w, st::stats::Rng& rng, double pct) {
   return distinct;
 }
 
+/// Rewires the friendship topology around roughly `pct`% of the nodes:
+/// each step picks a node and either drops the friendship to one of its
+/// current neighbours or befriends a random stranger (alternating, so
+/// the edge count stays roughly stable across a long run). Every flip
+/// bumps both endpoints' structure revisions and the graph's structure
+/// epoch, so cached common-friend sets, BFS paths, and the epoch-gated
+/// value entries all genuinely miss — the scenario the steady-state
+/// preset (apply_churn) deliberately avoids.
+std::size_t apply_rel_churn(Workload& w, st::stats::Rng& rng, double pct) {
+  const std::size_t n = w.graph.size();
+  const auto target = static_cast<std::size_t>(
+      static_cast<double>(n) * pct / 100.0);
+  std::vector<bool> touched(n, false);
+  std::size_t distinct = 0;
+  for (std::size_t step = 0; step < target; ++step) {
+    const auto v = static_cast<NodeId>(rng.index(n));
+    bool flipped = false;
+    if (step % 2 == 0) {
+      auto neighbors = w.graph.neighbors(v);
+      if (!neighbors.empty()) {
+        const NodeId peer = neighbors[rng.index(neighbors.size())];
+        flipped = w.graph.remove_relationship(
+            v, peer, st::graph::Relationship::kFriendship);
+      }
+    } else {
+      const auto u = static_cast<NodeId>(rng.index(n));
+      if (u != v) {
+        flipped = w.graph.add_relationship(
+            v, u, st::graph::Relationship::kFriendship);
+      }
+    }
+    if (flipped && !touched[v]) {
+      touched[v] = true;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
 std::vector<std::size_t> parse_list(const std::string& csv) {
   std::vector<std::size_t> out;
   std::stringstream ss(csv);
@@ -229,7 +278,8 @@ double timed_update(SocialTrustPlugin& plugin,
 /// One full interval sequence (fresh workload, fresh plugins) for one
 /// (nodes, threads) configuration.
 Row run_sequence(std::size_t n, std::size_t threads, std::size_t intervals,
-                 double churn_pct, std::uint64_t seed) {
+                 double churn_pct, double rel_churn_pct,
+                 std::uint64_t seed) {
   st::stats::Rng rng(seed);
   Workload w = make_workload(n, rng);
 
@@ -247,7 +297,10 @@ Row run_sequence(std::size_t n, std::size_t threads, std::size_t intervals,
   std::size_t churn_nodes = 0;
   SocialStateCache::StatsSnapshot steady_base;
   for (std::size_t interval = 0; interval < intervals; ++interval) {
-    if (interval > 0) churn_nodes += apply_churn(w, rng, churn_pct);
+    if (interval > 0) {
+      churn_nodes += apply_churn(w, rng, churn_pct);
+      if (rel_churn_pct > 0.0) apply_rel_churn(w, rng, rel_churn_pct);
+    }
     cold.social_cache().clear();  // the retired per-interval-memo regime
     // Alternate which plugin runs first so neither systematically
     // benefits from CPU caches warmed by the other.
@@ -308,13 +361,16 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("reps", quick ? 1 : 2));
   const double churn_pct =
       static_cast<double>(args.get_int("churn", 8));
+  const double rel_churn_pct =
+      static_cast<double>(args.get_int("rel-churn", 0));
   const std::uint64_t seed = args.get_u64("seed", 42);
 
   std::cout << "=== bench_incremental_closeness ===\n"
             << "(warm = persistent SocialStateCache, cold = cache wiped "
                "every interval;\n " << intervals << " intervals, interval 0 "
             << "excluded as cold start, churn " << churn_pct
-            << "% of nodes/interval,\n min of " << reps
+            << "% of nodes/interval,\n relationship churn " << rel_churn_pct
+            << "% of nodes/interval, min of " << reps
             << " reps; hardware threads: "
             << std::thread::hardware_concurrency() << ")\n\n";
 
@@ -323,7 +379,8 @@ int main(int argc, char** argv) {
     for (std::size_t threads : thread_counts) {
       Row best;
       for (std::size_t rep = 0; rep < reps; ++rep) {
-        Row row = run_sequence(n, threads, intervals, churn_pct, seed);
+        Row row = run_sequence(n, threads, intervals, churn_pct,
+                               rel_churn_pct, seed);
         if (rep == 0) {
           best = row;
         } else {
@@ -360,19 +417,29 @@ int main(int argc, char** argv) {
     hit_rate_ok = hit_rate_ok && r.hit_rate_pct >= 80.0;
     speedup_ok = speedup_ok && r.speedup >= 2.0;
   }
+  // Topology churn deliberately defeats the structure layer's
+  // steady-state assumption, so under --rel-churn the performance gates
+  // become informational; bit-identity stays a hard gate regardless.
+  const bool perf_gated = rel_churn_pct <= 0.0;
   if (!all_identical) {
     std::cout << "BIT-IDENTITY VIOLATION: warm cache changed the adjusted "
                  "ratings or reputations\n";
   }
   if (!hit_rate_ok) {
-    std::cout << "HIT RATE BELOW TARGET: steady-state cache hit rate under "
-                 "80%\n";
+    std::cout << (perf_gated
+                      ? "HIT RATE BELOW TARGET: steady-state cache hit rate "
+                        "under 80%\n"
+                      : "note: steady-state cache hit rate under 80% (not "
+                        "gated under --rel-churn)\n");
   }
   if (!speedup_ok) {
-    std::cout << (quick ? "note: steady-state speedup under 2x (not gated "
-                          "in --quick)\n"
-                        : "SPEEDUP BELOW TARGET: steady-state speedup under "
-                          "2x\n");
+    std::cout << (!perf_gated
+                      ? "note: steady-state speedup under 2x (not gated "
+                        "under --rel-churn)\n"
+                  : quick ? "note: steady-state speedup under 2x (not gated "
+                            "in --quick)\n"
+                          : "SPEEDUP BELOW TARGET: steady-state speedup "
+                            "under 2x\n");
   }
 
   if (auto json_path = args.get("json"); json_path && !json_path->empty()) {
@@ -385,6 +452,7 @@ int main(int argc, char** argv) {
         << "  \"seed\": " << seed << ",\n  \"reps\": " << reps
         << ",\n  \"intervals\": " << intervals
         << ",\n  \"churn_pct\": " << st::util::fmt(churn_pct, 1)
+        << ",\n  \"rel_churn_pct\": " << st::util::fmt(rel_churn_pct, 1)
         << ",\n  \"hardware_threads\": "
         << std::thread::hardware_concurrency()
         << ",\n  \"warm_bit_identical_to_cold\": "
@@ -407,7 +475,8 @@ int main(int argc, char** argv) {
     std::cout << "(json: " << *json_path << ")\n";
   }
 
-  if (!all_identical || !hit_rate_ok) return 1;
-  if (!quick && !speedup_ok) return 1;
+  if (!all_identical) return 1;
+  if (perf_gated && !hit_rate_ok) return 1;
+  if (perf_gated && !quick && !speedup_ok) return 1;
   return 0;
 }

@@ -100,6 +100,16 @@ struct SocialTrustConfig {
   /// every value: work is split into fixed-size pair blocks and reduced in
   /// block-index order regardless of the worker count.
   std::size_t threads = 1;
+
+  /// Generation-based eviction for the social-state cache's value layer
+  /// (closeness/similarity memos). 0 (default) = never evict; n > 0 =
+  /// at the top of each update interval, drop value entries no lookup
+  /// has touched for more than n consecutive intervals. Structure
+  /// entries (common-friend sets, BFS paths) are never swept. Purely a
+  /// memory/recompute trade on long runs: an evicted entry is recomputed
+  /// through the identical code path, so results are bit-for-bit
+  /// unchanged at any setting.
+  std::size_t cache_evict_intervals = 0;
 };
 
 }  // namespace st::core

@@ -12,6 +12,36 @@ SocialStateCache::SocialStateCache()
   obs_invalidations_ = &registry.counter("social_cache.invalidations");
   obs_structure_hits_ = &registry.counter("social_cache.structure_hits");
   obs_structure_misses_ = &registry.counter("social_cache.structure_misses");
+  obs_evictions_ = &registry.counter("social_cache.evictions");
+}
+
+void SocialStateCache::begin_interval(std::size_t evict_after) {
+  const std::uint64_t gen =
+      generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (evict_after == 0) return;
+  // An entry last touched in interval T has sat untouched through
+  // intervals T+1 .. gen-1; evict once that exceeds the configured
+  // budget. erase_if visits in hash order, but pure erasure is
+  // order-independent: which entries survive depends only on their
+  // stamps, never on visit order, so determinism holds trivially.
+  std::uint64_t erased = 0;
+  const auto expired = [&](std::uint64_t last_touch) {
+    return gen - last_touch > evict_after;
+  };
+  for (std::size_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard lock(shard.mutex);
+    erased += std::erase_if(shard.closeness, [&](const auto& kv) {
+      return expired(kv.second.last_touch);
+    });
+    erased += std::erase_if(shard.similarity, [&](const auto& kv) {
+      return expired(kv.second.last_touch);
+    });
+  }
+  if (erased > 0) {
+    evictions_.fetch_add(erased, std::memory_order_relaxed);
+    obs_evictions_->add(erased);
+  }
 }
 
 bool SocialStateCache::Validity::valid(
@@ -164,6 +194,7 @@ double SocialStateCache::closeness(const ClosenessModel& model,
     auto it = shard.closeness.find(key);
     if (it != shard.closeness.end()) {
       if (it->second.validity.valid(g)) {
+        it->second.last_touch = generation_.load(std::memory_order_relaxed);
         hits_.fetch_add(1, std::memory_order_relaxed);
         obs_hits_->add(1);
         return it->second.value;
@@ -179,6 +210,7 @@ double SocialStateCache::closeness(const ClosenessModel& model,
   obs_misses_->add(1);
   ClosenessEntry entry;
   entry.value = compute_closeness(model, g, i, j, max_hops, entry.validity);
+  entry.last_touch = generation_.load(std::memory_order_relaxed);
   const double value = entry.value;
   {
     std::lock_guard lock(shard.mutex);
@@ -201,6 +233,7 @@ double SocialStateCache::similarity(const InterestProfiles& profiles, NodeId a,
     auto it = shard.similarity.find(key);
     if (it != shard.similarity.end()) {
       if (it->second.rev_lo == rev_lo && it->second.rev_hi == rev_hi) {
+        it->second.last_touch = generation_.load(std::memory_order_relaxed);
         hits_.fetch_add(1, std::memory_order_relaxed);
         obs_hits_->add(1);
         return it->second.value;
@@ -221,7 +254,9 @@ double SocialStateCache::similarity(const InterestProfiles& profiles, NodeId a,
                                 : profiles.similarity(lo, hi);
   {
     std::lock_guard lock(shard.mutex);
-    shard.similarity[key] = SimilarityEntry{value, rev_lo, rev_hi};
+    shard.similarity[key] = SimilarityEntry{
+        value, rev_lo, rev_hi,
+        generation_.load(std::memory_order_relaxed)};
   }
   return value;
 }
@@ -293,6 +328,7 @@ SocialStateCache::StatsSnapshot SocialStateCache::stats() const noexcept {
   snap.invalidations = invalidations_.load(std::memory_order_relaxed);
   snap.structure_hits = structure_hits_.load(std::memory_order_relaxed);
   snap.structure_misses = structure_misses_.load(std::memory_order_relaxed);
+  snap.evictions = evictions_.load(std::memory_order_relaxed);
   return snap;
 }
 

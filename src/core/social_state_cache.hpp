@@ -64,7 +64,8 @@
 // Observability: per-instance relaxed atomic counters (always on; the
 // bench reads them to prove the hit rate) plus process-wide obs counters
 // `social_cache.hits` / `.misses` / `.invalidations` /
-// `.structure_hits` / `.structure_misses` (see docs/OBSERVABILITY.md).
+// `.structure_hits` / `.structure_misses` / `.evictions`
+// (see docs/OBSERVABILITY.md).
 
 #include <atomic>
 #include <cstdint>
@@ -100,6 +101,23 @@ class SocialStateCache {
   double similarity(const InterestProfiles& profiles, NodeId a, NodeId b,
                     bool weighted);
 
+  /// Interval tick + generation-based eviction sweep. The plugin calls
+  /// this at the top of every update(); it advances the cache's
+  /// generation counter and, when `evict_after > 0`, drops every
+  /// *value-layer* entry (closeness + similarity) that no lookup has
+  /// touched for more than `evict_after` consecutive intervals.
+  /// `evict_after == 0` (the default config) disables the sweep
+  /// entirely. Structure entries are exempt: they are the expensive
+  /// BFS/set-intersection layer whose persistence is the cache's whole
+  /// point, and they carry no per-interval touch stamp.
+  ///
+  /// Bit-identity is unaffected by construction: eviction only ever
+  /// *removes* entries, and a removed entry is recomputed through the
+  /// exact same code path a cold miss takes, producing the identical
+  /// double (see the revalidation contract above). The sweep trades
+  /// recompute time for bounded memory on long runs, never results.
+  void begin_interval(std::size_t evict_after);
+
   /// Erases every entry whose key or witness set mentions `node` — the
   /// whitewashing hook. Epoch-gated entries are untouched: they only stay
   /// valid while the corresponding graph epoch holds, and any actual state
@@ -119,13 +137,15 @@ class SocialStateCache {
   /// Monotone per-instance totals. Hits/misses count value-level lookups
   /// (closeness + similarity); structure_* count the nested common-set and
   /// path lookups; invalidations counts entries dropped because a lookup
-  /// found them stale plus entries erased by invalidate_node.
+  /// found them stale plus entries erased by invalidate_node; evictions
+  /// counts value entries dropped by the begin_interval() sweep.
   struct StatsSnapshot {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t invalidations = 0;
     std::uint64_t structure_hits = 0;
     std::uint64_t structure_misses = 0;
+    std::uint64_t evictions = 0;
   };
   StatsSnapshot stats() const noexcept;
 
@@ -164,6 +184,7 @@ class SocialStateCache {
   struct ClosenessEntry {
     double value = 0.0;
     Validity validity;
+    std::uint64_t last_touch = 0;  ///< generation of the last hit/store
   };
 
   /// Similarity entries witness exactly the two profiles they read.
@@ -171,6 +192,7 @@ class SocialStateCache {
     double value = 0.0;
     Revision rev_lo = 0;  ///< profile revision of min(a,b)
     Revision rev_hi = 0;  ///< profile revision of max(a,b)
+    std::uint64_t last_touch = 0;  ///< generation of the last hit/store
   };
 
   /// Memoised common-friend set, canonical (min,max) key (symmetric).
@@ -227,6 +249,13 @@ class SocialStateCache {
 
   std::unique_ptr<Shard[]> shards_;
 
+  /// Update-interval counter driving the eviction sweep; bumped by
+  /// begin_interval(). Relaxed: begin_interval runs on the coordinator
+  /// between parallel regions, and a touch stamp that is off by one
+  /// interval only shifts *when* an entry is recomputed, never what the
+  /// recompute produces.
+  std::atomic<std::uint64_t> generation_{0};
+
   // Per-instance totals (see StatsSnapshot). Relaxed: they order nothing;
   // observation-only, never fed back into cached values.
   std::atomic<std::uint64_t> hits_{0};
@@ -234,6 +263,7 @@ class SocialStateCache {
   std::atomic<std::uint64_t> invalidations_{0};
   std::atomic<std::uint64_t> structure_hits_{0};
   std::atomic<std::uint64_t> structure_misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 
   // Process-wide observability handles, resolved once at construction;
   // no-ops while the obs layer is disabled.
@@ -242,6 +272,7 @@ class SocialStateCache {
   obs::Counter* obs_invalidations_ = nullptr;
   obs::Counter* obs_structure_hits_ = nullptr;
   obs::Counter* obs_structure_misses_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
 };
 
 }  // namespace st::core

@@ -194,7 +194,9 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
   // No cache wipe here: social_cache_ persists across intervals and
   // revalidates each entry against graph/profile revisions, so values
   // whose social neighbourhood is unchanged since the last interval are
-  // served without redoing the BFS / friend-of-friend work.
+  // served without redoing the BFS / friend-of-friend work. The interval
+  // tick only runs the (default-off) idle-entry eviction sweep.
+  social_cache_.begin_interval(config_.cache_evict_intervals);
   adjusted_.assign(cycle_ratings.begin(), cycle_ratings.end());
   report_ = AdjustmentReport{};
 
@@ -227,7 +229,8 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
   // by pair key, independent of the worker count.
   std::vector<PairWork> work;
   work.reserve(pairs.size());
-  // st-lint: allow(DET-2 sanctioned flatten-then-sort - the std::sort below pins the order)
+  // st-lint recognises this flatten-then-sort shape (the std::sort below
+  // pins the order), so no suppression is needed.
   for (auto& [key, tally] : pairs) {
     work.push_back(PairWork{key, std::move(tally)});
   }

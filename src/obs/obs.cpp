@@ -241,17 +241,25 @@ Histogram& Registry::histogram(std::string_view name,
 }
 
 Snapshot Registry::snapshot() const {
+  // The three copy loops below must run under the registry mutex: the
+  // snapshot's point-in-time coherence against concurrent registration
+  // is the whole contract, each loop is bounded by the metric count
+  // (dozens), and the vectors are reserved first. Cold path — once per
+  // update interval.
   std::lock_guard lock(mutex_);
   Snapshot snap;
   snap.counters.reserve(counters_.size());
+  // st-lint: allow(LOCK-3 snapshot coherence requires the registry lock; bounded by metric count)
   for (const auto& [name, c] : counters_) {
     snap.counters.emplace_back(name, c->value());
   }
   snap.gauges.reserve(gauges_.size());
+  // st-lint: allow(LOCK-3 snapshot coherence requires the registry lock; bounded by metric count)
   for (const auto& [name, g] : gauges_) {
     snap.gauges.emplace_back(name, g->value());
   }
   snap.histograms.reserve(histograms_.size());
+  // st-lint: allow(LOCK-3 snapshot coherence requires the registry lock; bounded by metric count)
   for (const auto& [name, h] : histograms_) {
     snap.histograms.emplace_back(name, h->value());
   }

@@ -344,6 +344,79 @@ TEST(SocialStateCacheTest, InvalidateNodeErasesEveryMention) {
   EXPECT_EQ(cache.structure_size(), 0U);
 }
 
+TEST(SocialStateCacheTest, EvictionSweepDropsOnlyUntouchedValueEntries) {
+  SocialGraph g(5);
+  g.add_relationship(0, 2, Relationship::kFriendship);
+  g.add_relationship(1, 2, Relationship::kFriendship);
+  g.add_relationship(3, 4, Relationship::kFriendship);
+  g.record_interaction(0, 2, 1.0);
+  g.record_interaction(3, 4, 2.0);
+  InterestProfiles profiles(5, 8);
+  const reputation::InterestId a_ints[] = {1, 2, 5};
+  const reputation::InterestId b_ints[] = {2, 5, 7};
+  profiles.set_interests(0, a_ints);
+  profiles.set_interests(1, b_ints);
+  ClosenessModel model;
+  SocialStateCache cache;
+
+  const double fof = cache.closeness(model, g, 0, 1);    // FoF via 2
+  const double adj = cache.closeness(model, g, 3, 4);    // adjacent
+  const double sim = cache.similarity(profiles, 0, 1, false);
+  EXPECT_EQ(cache.size(), 3U);
+  const std::size_t structure_before = cache.structure_size();
+  EXPECT_GT(structure_before, 0U);
+
+  // First interval: every entry was touched at generation 0, age is now 1,
+  // not > 1 — nothing is evictable yet. Keep (3,4) warm by re-reading it.
+  cache.begin_interval(1);
+  EXPECT_EQ(cache.size(), 3U);
+  EXPECT_EQ(cache.stats().evictions, 0U);
+  auto d = stats_delta(cache, [&] { cache.closeness(model, g, 3, 4); });
+  EXPECT_EQ(d.hits, 1U);
+
+  // Second interval: the FoF and similarity entries have gone two
+  // generations untouched and are swept; the re-read adjacent entry and
+  // the whole structure layer survive.
+  cache.begin_interval(1);
+  EXPECT_EQ(cache.size(), 1U);
+  EXPECT_EQ(cache.stats().evictions, 2U);
+  EXPECT_EQ(cache.structure_size(), structure_before);
+  d = stats_delta(cache, [&] { cache.closeness(model, g, 3, 4); });
+  EXPECT_EQ(d.hits, 1U);
+
+  // Warm bit-identity after the sweep: no graph/profile state changed, so
+  // recomputing the evicted entries takes the identical code path and must
+  // reproduce the identical doubles (and re-memoise them as fresh misses).
+  double fof2 = 0.0, sim2 = 0.0;
+  d = stats_delta(cache, [&] { fof2 = cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.misses, 1U);
+  EXPECT_EQ(d.invalidations, 0U);  // evicted, not stale
+  EXPECT_TRUE(bits_equal(fof2, fof));
+  d = stats_delta(cache, [&] { sim2 = cache.similarity(profiles, 0, 1, false); });
+  EXPECT_EQ(d.misses, 1U);
+  EXPECT_TRUE(bits_equal(sim2, sim));
+  EXPECT_TRUE(bits_equal(cache.closeness(model, g, 3, 4), adj));
+}
+
+TEST(SocialStateCacheTest, EvictionDisabledByDefaultConfigValue) {
+  SocialGraph g(3);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  g.record_interaction(0, 1, 1.0);
+  ClosenessModel model;
+  SocialStateCache cache;
+
+  cache.closeness(model, g, 0, 1);
+  EXPECT_EQ(cache.size(), 1U);
+
+  // evict_after == 0 (the SocialTrustConfig default) still advances the
+  // generation but must never sweep, no matter how long entries sit idle.
+  for (int i = 0; i < 10; ++i) cache.begin_interval(0);
+  EXPECT_EQ(cache.size(), 1U);
+  EXPECT_EQ(cache.stats().evictions, 0U);
+  auto d = stats_delta(cache, [&] { cache.closeness(model, g, 0, 1); });
+  EXPECT_EQ(d.hits, 1U);
+}
+
 // --- 2. cold-vs-warm property test ------------------------------------------
 
 struct PluginCapture {

@@ -414,6 +414,395 @@ double reduce() {{
         self.assert_clean(self.lint(f, strict=True))
 
 
+class Det3AccessorTests(LintFixtureCase):
+    """DET-3: iterating an accessor that returns a reference into an
+    unordered container."""
+
+    def test_range_for_over_ref_accessor_fires(self) -> None:
+        f = self.write("src/core/bad.cpp", """
+#include <unordered_map>
+struct Ledger {
+  std::unordered_map<int, double> counts_;
+  const std::unordered_map<int, double>& last_counts() const {
+    return counts_;
+  }
+};
+double sum(const Ledger& l) {
+  double t = 0.0;
+  for (const auto& [k, v] : l.last_counts()) t += v;
+  return t;
+}
+""")
+        self.assert_fires(self.lint(f), "DET-3")
+
+    def test_accessor_declared_in_own_header_fires(self) -> None:
+        self.write("src/core/ledger2.hpp", """
+#pragma once
+#include <unordered_map>
+struct Ledger2 {
+  std::unordered_map<int, double> counts_;
+  const std::unordered_map<int, double>& last_counts() const;
+  double total() const;
+};
+""")
+        self.write("src/core/ledger2.cpp", """
+#include "core/ledger2.hpp"
+double Ledger2::total() const {
+  double t = 0.0;
+  for (const auto& [k, v] : last_counts()) t += v;
+  return t;
+}
+""")
+        self.assert_fires(self.lint(self.root / "src"), "DET-3")
+
+    def test_sorted_copy_accessor_passes(self) -> None:
+        f = self.write("src/core/ok.cpp", """
+#include <vector>
+struct Ledger {
+  std::vector<std::pair<int, double>> sorted_counts() const;
+};
+double sum(const Ledger& l) {
+  double t = 0.0;
+  for (const auto& kv : l.sorted_counts()) t += kv.second;
+  return t;
+}
+""")
+        self.assert_clean(self.lint(f))
+
+
+class FlattenThenSortTests(LintFixtureCase):
+    """The sanctioned flatten-then-sort idiom needs no allow() under the
+    token engine: a range-for body that only push_backs into one vector,
+    followed by a sort of that vector, is recognised as order-pinned."""
+
+    TEMPLATE = """
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+std::vector<std::pair<int, double>> flatten() {{
+  std::unordered_map<int, double> m;
+  std::vector<std::pair<int, double>> work;
+  work.reserve(m.size());
+  for (const auto& kv : m) {{
+    work.push_back(kv);
+  }}
+{sort_line}
+  return work;
+}}
+"""
+
+    def test_flatten_then_sort_passes_without_allow(self) -> None:
+        f = self.write("src/core/ok.cpp", self.TEMPLATE.format(
+            sort_line="  std::sort(work.begin(), work.end());"))
+        self.assert_clean(self.lint(f, strict=True))
+
+    def test_flatten_without_sort_still_fires(self) -> None:
+        f = self.write("src/core/bad.cpp",
+                       self.TEMPLATE.format(sort_line=""))
+        self.assert_fires(self.lint(f), "DET-2")
+
+
+class LockDisciplineTests(LintFixtureCase):
+    def test_lock1_nested_guards_fire(self) -> None:
+        f = self.write("src/core/bad.cpp", """
+#include <mutex>
+std::mutex a_m, b_m;
+void f() {
+  std::lock_guard<std::mutex> la(a_m);
+  std::lock_guard<std::mutex> lb(b_m);
+}
+""")
+        self.assert_fires(self.lint(f), "LOCK-1")
+
+    def test_lock1_sequential_scopes_pass(self) -> None:
+        f = self.write("src/core/ok.cpp", """
+#include <mutex>
+std::mutex a_m, b_m;
+void f() {
+  { std::lock_guard<std::mutex> la(a_m); }
+  { std::lock_guard<std::mutex> lb(b_m); }
+  std::scoped_lock both(a_m, b_m);
+}
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_lock1_guard_in_lambda_passes(self) -> None:
+        # A guard inside a nested lambda body may run on another thread;
+        # only same-function lexical nesting is the deadlock shape.
+        f = self.write("src/core/ok.cpp", """
+#include <mutex>
+std::mutex a_m, b_m;
+void f(auto& pool) {
+  std::lock_guard<std::mutex> la(a_m);
+  pool.submit([&] { std::lock_guard<std::mutex> lb(b_m); });
+}
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_lock2_manual_lock_unlock_fires(self) -> None:
+        f = self.write("src/core/bad.cpp", """
+#include <mutex>
+std::mutex m;
+void f() {
+  m.lock();
+  m.unlock();
+}
+""")
+        self.assert_fires(self.lint(f), "LOCK-2")
+
+    def test_lock2_raii_guard_passes(self) -> None:
+        f = self.write("src/core/ok.cpp", """
+#include <mutex>
+std::mutex m;
+void f() { std::lock_guard lock(m); }
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_lock3_expensive_call_under_lock_fires(self) -> None:
+        f = self.write("src/core/bad.cpp", """
+#include <mutex>
+std::mutex m;
+int shortest_path(int, int);
+int f() {
+  std::lock_guard lock(m);
+  return shortest_path(1, 2);
+}
+""")
+        self.assert_fires(self.lint(f), "LOCK-3")
+
+    def test_lock3_allocating_loop_under_lock_fires(self) -> None:
+        f = self.write("src/core/bad.cpp", """
+#include <mutex>
+#include <vector>
+std::mutex m;
+void f(std::vector<int>& out) {
+  std::lock_guard lock(m);
+  for (int i = 0; i < 8; ++i) out.push_back(i);
+}
+""")
+        self.assert_fires(self.lint(f), "LOCK-3")
+
+    def test_lock3_compute_outside_publish_under_lock_passes(self) -> None:
+        f = self.write("src/core/ok.cpp", """
+#include <mutex>
+#include <vector>
+std::mutex m;
+int shortest_path(int, int);
+std::vector<int> g_out;
+void f() {
+  std::vector<int> staged;
+  for (int i = 0; i < 8; ++i) staged.push_back(i);
+  int hops = shortest_path(1, 2);
+  std::lock_guard lock(m);
+  g_out = std::move(staged);
+  g_out.push_back(hops);
+}
+""")
+        self.assert_clean(self.lint(f))
+
+
+class ObsDocsTests(LintFixtureCase):
+    """OBS-1/OBS-2: metric names vs the Metric reference tables. Fixture
+    trees opt in with --obs-doc (by default the doc diff only runs when
+    the scan covers the repo's real src/ tree)."""
+
+    DOC = """# Observability
+
+## Metric reference
+
+### Counters
+
+| Metric | Meaning |
+| --- | --- |
+| `social_cache.hits` | value-layer cache hits |
+"""
+
+    REG = """
+struct Registry {{ struct C {{ }}; C& counter(const char*); }};
+void wire(Registry& r) {{
+  r.counter("{name}");
+}}
+"""
+
+    def lint_with_doc(self, *extra: str) -> subprocess.CompletedProcess:
+        doc = self.write("docs/OBSERVABILITY.md", self.DOC)
+        return run_lint("--obs-doc", str(doc), str(self.root / "src"),
+                        *extra)
+
+    def test_documented_metric_passes(self) -> None:
+        self.write("src/core/metrics.cpp",
+                   self.REG.format(name="social_cache.hits"))
+        self.assert_clean(self.lint_with_doc())
+
+    def test_rename_in_code_fails_both_directions(self) -> None:
+        # Metric renamed in code but not in the doc: the new name is
+        # undocumented (OBS-1) and the old doc row is dead (OBS-2).
+        self.write("src/core/metrics.cpp",
+                   self.REG.format(name="social_cache.hitz"))
+        proc = self.lint_with_doc()
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("OBS-1", proc.stderr)
+        self.assertIn("OBS-2", proc.stderr)
+
+    def test_non_snake_case_fires(self) -> None:
+        self.write("src/core/metrics.cpp",
+                   self.REG.format(name="SocialCache.Hits"))
+        proc = self.lint_with_doc()
+        self.assert_fires(proc, "OBS-1")
+        self.assertIn("snake_case", proc.stderr)
+
+    def test_duplicate_registration_fires(self) -> None:
+        self.write("src/core/metrics_a.cpp",
+                   self.REG.format(name="social_cache.hits"))
+        self.write("src/core/metrics_b.cpp",
+                   self.REG.format(name="social_cache.hits"))
+        proc = self.lint_with_doc()
+        self.assert_fires(proc, "OBS-1")
+        self.assertIn("already registered", proc.stderr)
+
+    def test_doc_checks_off_for_fixture_trees_by_default(self) -> None:
+        # Without --obs-doc a fixture scan never diffs against the
+        # repo's own documentation.
+        self.write("src/core/metrics.cpp",
+                   self.REG.format(name="not.in.any.doc"))
+        self.assert_clean(self.lint(self.root / "src"))
+
+
+class BudgetTests(LintFixtureCase):
+    """SUP-2: the checked-in allow() budget."""
+
+    def seeded(self) -> Path:
+        self.write("src/core/f.cpp", """
+#include <unordered_map>
+double reduce() {
+  std::unordered_map<int, double> m;
+  double t = 0.0;
+  for (const auto& [k, v] : m) t += v;  // st-lint: allow(DET-2 integer sum)
+  return t;
+}
+""")
+        return self.write("budget.json", '{"max_allow_sites": 0}\n')
+
+    def test_over_budget_fires_sup2_in_strict(self) -> None:
+        budget = self.seeded()
+        proc = run_lint("--strict", "--budget", str(budget),
+                        str(self.root / "src"))
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("SUP-2", proc.stderr)
+
+    def test_within_budget_passes(self) -> None:
+        self.seeded()
+        budget = self.write("budget_ok.json", '{"max_allow_sites": 1}\n')
+        proc = run_lint("--strict", "--budget", str(budget),
+                        str(self.root / "src"))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_budget_not_enforced_without_strict(self) -> None:
+        budget = self.seeded()
+        proc = run_lint("--budget", str(budget), str(self.root / "src"))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_real_budget_matches_tree(self) -> None:
+        # The repo's own budget file must stay in sync with the tree:
+        # exactly max_allow_sites allow() comments, no slack to grow into.
+        budget = json.loads(
+            (REPO_ROOT / "tools" / "lint_budget.json").read_text())
+        proc = run_lint("--json", "--strict",
+                        *(str(REPO_ROOT / d)
+                          for d in ("src", "bench", "tests", "examples")))
+        payload = json.loads(proc.stdout)
+        self.assertEqual(payload["allow_sites"], budget["max_allow_sites"])
+
+
+class LexerRegressionTests(LintFixtureCase):
+    """Rule-triggering text inside comments and string literals must
+    never fire under the token engine."""
+
+    def test_rule_text_in_comments_passes(self) -> None:
+        f = self.write("src/core/ok.cpp", """
+// rand() here, and std::thread there, and for (auto& kv : m) too
+/* delete p; m.lock(); shortest_path(a, b);
+   for (auto it = m.begin(); it != m.end(); ++it) {} */
+int x = 0;
+""")
+        self.assert_clean(self.lint(f, strict=True))
+
+    def test_rule_text_in_string_literals_passes(self) -> None:
+        f = self.write("src/core/ok.cpp", """
+const char* a = "std::thread t; t.detach(); rand();";
+const char* b = "for (const auto& [k, v] : counts) {}";
+int x = 0;
+""")
+        self.assert_clean(self.lint(f, strict=True))
+
+    def test_rule_text_in_raw_string_passes(self) -> None:
+        f = self.write("src/core/ok.cpp", """
+const char* doc = R"(new int(3); delete p; malloc(8);
+std::unordered_map<int, int> m; for (auto& kv : m) {})";
+int x = 0;
+""")
+        self.assert_clean(self.lint(f, strict=True))
+
+    def test_code_after_comment_still_fires(self) -> None:
+        # The inverse guard: stripping comments must not eat real code.
+        f = self.write("src/core/bad.cpp",
+                       "int f() { /* benign */ return rand(); }\n")
+        self.assert_fires(self.lint(f), "DET-1")
+
+
+class ScopeResolutionTests(LintFixtureCase):
+    """Declaration resolution is scope-aware: names no longer inherit
+    guilt from unrelated declarations elsewhere in the file."""
+
+    def test_vector_shadowing_other_functions_unordered_passes(self) -> None:
+        f = self.write("src/core/ok.cpp", """
+#include <unordered_map>
+#include <vector>
+double a() {
+  std::unordered_map<int, double> counts;
+  return static_cast<double>(counts.size());
+}
+double b() {
+  std::vector<double> counts;
+  double t = 0.0;
+  for (double v : counts) t += v;
+  return t;
+}
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_same_function_unordered_still_fires(self) -> None:
+        f = self.write("src/core/bad.cpp", """
+#include <unordered_map>
+double a() {
+  std::unordered_map<int, double> counts;
+  double t = 0.0;
+  for (const auto& [k, v] : counts) t += v;
+  return t;
+}
+""")
+        self.assert_fires(self.lint(f), "DET-2")
+
+    def test_hyg2_function_local_using_in_header_passes(self) -> None:
+        f = self.write("src/core/ok.hpp", """
+#pragma once
+inline int f() {
+  using namespace std;
+  return 0;
+}
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_hyg2_namespace_scope_in_header_still_fires(self) -> None:
+        f = self.write("src/core/bad.hpp", """
+#pragma once
+namespace st {
+using namespace std;
+}
+""")
+        self.assert_fires(self.lint(f), "HYG-2")
+
+
 class OutputAndCliTests(LintFixtureCase):
     def test_json_output(self) -> None:
         f = self.write("src/core/bad.cpp", "int f() { return rand(); }\n")

@@ -6,34 +6,38 @@ promise hard contracts — bit-identical results at every thread count,
 obs-on/off identity, exception-safe pool shutdown. Those contracts are
 easy to break silently: one hash-order iteration feeding a reduction,
 one ``rand()`` seeded from the wall clock, one naked ``std::thread`` in
-a new bench. This linter rejects the known-dangerous source patterns
-before they compile. Rule catalogue (see docs/STATIC_ANALYSIS.md for
-rationale and etiquette):
+a new bench, one BFS recompute inside a shard lock. This linter rejects
+the known-dangerous source patterns before they compile.
 
-  DET-1  nondeterminism sources (``rand``/``srand``/``time``/
-         ``std::random_device``/``system_clock``/clock-as-seed) outside
-         src/stats/rng.* — all randomness flows through st::stats::Rng.
-  DET-2  hash-order traversal of ``std::unordered_map`` /
-         ``std::unordered_set`` in src/core/, src/reputation/, src/sim/:
-         range-for and iterator loops, ``begin()``/``cbegin()`` handed to
-         an order-sensitive algorithm (``accumulate``, ``copy``,
-         ``for_each``, ``transform``, ...), iterator-pair
-         ``.insert(...)``/``.assign(...)`` into another container, and
-         ``ranges::`` algorithms over the container itself. Hash-order
-         iteration feeding an ordered output or a floating-point
-         reduction is exactly the bug class the blocked parallel_for
-         design exists to prevent; flatten to a vector and sort first,
-         or annotate the sorted-reduction pattern.
-  CON-1  naked ``std::thread`` / ``.detach()`` outside
-         src/util/thread_pool.* — all parallelism goes through the pool
-         so shutdown stays exception-safe and worker counts stay bounded.
-  CON-2  raw ``new``/``delete``/``malloc`` — use containers,
-         ``std::make_unique``, or an allow-listed arena.
-  HYG-1  every src/ ``.cpp`` includes its own header first (proves the
-         header is self-contained).
-  HYG-2  no ``using namespace`` at namespace scope in headers.
-  SUP-1  (meta, ``--strict`` only) every ``st-lint: allow(...)`` and
-         ``NOLINT`` must name its rule/check and carry a reason string.
+Since v2 the engine is a real lexing front end (tools/stlint/): a C++
+tokenizer, a brace/namespace/function scope tree, and scope-aware
+declaration resolution. Rule text inside comments and string literals
+can never fire a rule, iterated identifiers resolve to their nearest
+declaration instead of a file-global name set, and rules can read
+string literals (OBS-1 checks the metric-name literal itself).
+
+Rule catalogue (python3 tools/st_lint.py --list-rules, rationale and
+etiquette in docs/STATIC_ANALYSIS.md):
+
+  DET-1   nondeterminism sources outside src/stats/rng.*
+  DET-2   hash-order traversal of unordered containers in
+          determinism-critical directories (the sanctioned
+          flatten-then-sort idiom is recognised and exempt)
+  DET-3   accessors returning references/iterators into unordered
+          containers, iterated at the call site
+  CON-1   naked std::thread / detach() outside src/util/thread_pool.*
+  CON-2   raw new/delete/malloc
+  LOCK-1  second mutex acquired while one is held in the same scope
+  LOCK-2  manual .lock()/.unlock() instead of an RAII guard
+  LOCK-3  expensive work (recompute/BFS calls, allocating loops) inside
+          a lock scope
+  OBS-1   metric names: snake_case, globally unique, documented in
+          docs/OBSERVABILITY.md
+  OBS-2   documented metrics that no longer exist in code
+  HYG-1   every src/ .cpp includes its own header first
+  HYG-2   no using namespace at namespace scope in headers
+  SUP-1   (--strict) every suppression names its rule and a reason
+  SUP-2   (--strict) allow() sites may not exceed tools/lint_budget.json
 
 Suppressions: append ``// st-lint: allow(RULE-ID reason)`` to the
 offending line, or place the comment alone on the line directly above
@@ -47,573 +51,18 @@ root; a path may be a directory (scanned recursively for C++ sources)
 or a file.
 
 Exit status: 0 when the tree is clean, 1 when findings (or, under
-``--strict``, suppression-hygiene violations) were reported, 2 on usage
-errors. Mirrors tools/check_markdown_links.py: stdlib only, run from
-anywhere.
+``--strict``, suppression-hygiene/budget violations) were reported, 2 on
+usage errors.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import re
 import sys
-from dataclasses import dataclass, field
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hxx"}
-HEADER_SUFFIXES = {".hpp", ".h", ".hxx"}
-EXCLUDED_DIR_NAMES = {"build", ".git", "third_party"}
-DEFAULT_PATHS = ["src", "bench", "tests", "examples"]
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-RULES = {
-    "DET-1": "nondeterminism source outside src/stats/rng.*",
-    "DET-2": "hash-order traversal (loop, algorithm, or range copy) over "
-             "an unordered container in a determinism-critical directory",
-    "CON-1": "naked std::thread / detach() outside src/util/thread_pool.*",
-    "CON-2": "raw new/delete/malloc outside allow-listed files",
-    "HYG-1": ".cpp does not include its own header first",
-    "HYG-2": "using namespace at namespace scope in a header",
-    "SUP-1": "suppression without a rule id or reason",
-}
-
-# Per-rule path scoping. Prefixes are matched against the file's
-# repo-relative posix path; for files outside the repo (fixtures, tests)
-# the prefix is also matched as an interior substring so layouts like
-# /tmp/xyz/src/core/f.cpp scope the same way.
-DET1_ALLOWED_PREFIXES = ("src/stats/rng.",)
-DET2_SCOPE_PREFIXES = ("src/core/", "src/reputation/", "src/sim/")
-CON1_ALLOWED_PREFIXES = ("src/util/thread_pool.",)
-CON2_ALLOWED_PREFIXES: tuple[str, ...] = ()
-
-ALLOW_RE = re.compile(r"//\s*st-lint:\s*allow\(\s*([A-Za-z]+-?\d*)\s*([^)]*)\)")
-NOLINT_RE = re.compile(r"//\s*NOLINT(NEXTLINE)?\b(\(([^)]*)\))?(.*)")
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s*["<]([^">]+)[">]')
-UNORDERED_ALIAS_RE = re.compile(
-    r"\busing\s+(\w+)\s*=\s*std\s*::\s*unordered_(?:map|set)\b")
-UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
-RANGE_FOR_RE = re.compile(
-    r"\bfor\s*\(((?:[^()]|\([^()]*\))*)\)", re.DOTALL)
-TOP_LEVEL_COLON_RE = re.compile(r"(?<!:):(?!:)")
-TRAILING_IDENT_RE = re.compile(r"(\w+)\s*(?:\(\s*\))?\s*$")
-ITER_BEGIN_RE = re.compile(r"=\s*(\w+)\s*\.\s*c?begin\s*\(")
-
-# Order-sensitive consumers beyond loops: handing an unordered
-# container's begin() to one of these bakes hash order into an output
-# stream or a floating-point reduction just as surely as a range-for.
-ORDER_SENSITIVE_ALGOS = (
-    "accumulate", "reduce", "partial_sum", "inclusive_scan",
-    "exclusive_scan", "copy", "copy_n", "copy_if", "for_each",
-    "transform",
-)
-ALGO_BEGIN_RE = re.compile(
-    r"\b(" + "|".join(ORDER_SENSITIVE_ALGOS) +
-    r")\s*\(\s*(\w+)\s*\.\s*c?begin\s*\(")
-# v.insert(v.end(), m.begin(), m.end()) / v.assign(m.begin(), m.end()):
-# materialises the container in hash order.
-RANGE_INSERT_RE = re.compile(
-    r"\.\s*(?:insert|assign)\s*\(\s*(?:[^;]*?,\s*)?(\w+)\s*\.\s*"
-    r"c?begin\s*\(")
-# ranges:: algorithms take the container itself as the first argument.
-RANGES_ALGO_RE = re.compile(
-    r"\branges\s*::\s*(" + "|".join(ORDER_SENSITIVE_ALGOS) +
-    r")\s*\(\s*(\w+)\s*[,)]")
-
-
-@dataclass
-class Finding:
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def as_text(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
-
-
-@dataclass
-class Suppression:
-    rule: str
-    reason: str
-
-
-@dataclass
-class SourceFile:
-    """One scanned file: raw lines plus comment/string-scrubbed lines."""
-
-    path: Path
-    rel: str  # repo-relative (or as-given) posix path used in reports
-    raw_lines: list[str]
-    code_lines: list[str]  # same line count, comments/strings blanked
-    suppressions: dict[int, list[Suppression]] = field(default_factory=dict)
-    bad_suppressions: list[Finding] = field(default_factory=list)
-
-    @property
-    def code_text(self) -> str:
-        return "\n".join(self.code_lines)
-
-
-def scrub(text: str) -> str:
-    """Blank comments, string literals, and char literals, keeping the
-    line structure intact so line numbers survive. Handles // and block
-    comments, escape sequences, and R"delim(...)delim" raw strings."""
-    out: list[str] = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = text[i]
-        if state == "code":
-            nxt = text[i + 1] if i + 1 < n else ""
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-            elif c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-            elif c == "R" and nxt == '"' and (i == 0 or not (
-                    text[i - 1].isalnum() or text[i - 1] == "_")):
-                # Raw string: find the delimiter and skip to its close.
-                close_paren = text.find("(", i + 2)
-                delim = text[i + 2:close_paren] if close_paren != -1 else ""
-                end_marker = ")" + delim + '"'
-                end = text.find(end_marker, close_paren + 1)
-                end = (end + len(end_marker)) if end != -1 else n
-                out.append('""')
-                out.extend("\n" if ch == "\n" else " "
-                           for ch in text[i + 2:end])
-                i = end
-            elif c == '"':
-                state = "string"
-                out.append('"')
-                i += 1
-            elif c == "'":
-                # 1'000'000 digit separators are not char literals.
-                if i > 0 and text[i - 1].isalnum() and i + 1 < n and \
-                        text[i + 1].isalnum():
-                    out.append("'")
-                    i += 1
-                else:
-                    state = "char"
-                    out.append("'")
-                    i += 1
-            else:
-                out.append(c)
-                i += 1
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "block_comment":
-            if c == "*" and i + 1 < n and text[i + 1] == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-            else:
-                out.append("\n" if c == "\n" else " ")
-                i += 1
-        else:  # string or char
-            quote = '"' if state == "string" else "'"
-            if c == "\\" and i + 1 < n:
-                out.append("  ")
-                i += 2
-            elif c == quote:
-                state = "code"
-                out.append(quote)
-                i += 1
-            else:
-                out.append("\n" if c == "\n" else " ")
-                i += 1
-    return "".join(out)
-
-
-def rel_path(path: Path) -> str:
-    try:
-        return path.resolve().relative_to(REPO_ROOT).as_posix()
-    except ValueError:
-        return path.as_posix()
-
-
-def in_scope(rel: str, prefixes: tuple[str, ...]) -> bool:
-    """True when the path starts with a prefix, or contains it as an
-    interior path component (so out-of-repo fixture trees scope too)."""
-    return any(rel.startswith(p) or f"/{p}" in rel for p in prefixes)
-
-
-def load_file(path: Path) -> SourceFile:
-    text = path.read_text(encoding="utf-8", errors="replace")
-    raw_lines = text.splitlines()
-    code_lines = scrub(text).splitlines()
-    # scrub preserves newline positions, so the counts match; guard anyway.
-    while len(code_lines) < len(raw_lines):
-        code_lines.append("")
-    sf = SourceFile(path=path, rel=rel_path(path), raw_lines=raw_lines,
-                    code_lines=code_lines)
-    collect_suppressions(sf)
-    return sf
-
-
-def collect_suppressions(sf: SourceFile) -> None:
-    """Parse st-lint allow() and clang-tidy NOLINT comments. A comment on
-    its own line covers the next line; otherwise it covers its own."""
-    for lineno, raw in enumerate(sf.raw_lines, start=1):
-        for match in ALLOW_RE.finditer(raw):
-            rule = match.group(1).upper()
-            reason = match.group(2).strip()
-            target = lineno
-            if raw[:match.start()].strip() == "":  # comment-only line
-                target = lineno + 1
-            if rule not in RULES:
-                sf.bad_suppressions.append(Finding(
-                    sf.rel, lineno, "SUP-1",
-                    f"allow() names unknown rule '{rule}'"))
-                continue
-            if not reason:
-                sf.bad_suppressions.append(Finding(
-                    sf.rel, lineno, "SUP-1",
-                    f"allow({rule}) carries no reason string"))
-                continue
-            sf.suppressions.setdefault(target, []).append(
-                Suppression(rule, reason))
-        for match in NOLINT_RE.finditer(raw):
-            checks = (match.group(3) or "").strip()
-            trailing = (match.group(4) or "").strip().lstrip(":").strip()
-            if not checks or checks == "*":
-                sf.bad_suppressions.append(Finding(
-                    sf.rel, lineno, "SUP-1",
-                    "NOLINT must name the suppressed check(s): "
-                    "NOLINT(check-name): reason"))
-            elif not trailing:
-                sf.bad_suppressions.append(Finding(
-                    sf.rel, lineno, "SUP-1",
-                    f"NOLINT({checks}) carries no reason string"))
-
-
-def is_suppressed(sf: SourceFile, lineno: int, rule: str) -> bool:
-    return any(s.rule == rule for s in sf.suppressions.get(lineno, []))
-
-
-def emit(findings: list[Finding], sf: SourceFile, lineno: int, rule: str,
-         message: str) -> None:
-    if not is_suppressed(sf, lineno, rule):
-        findings.append(Finding(sf.rel, lineno, rule, message))
-
-
-# --- DET-1: nondeterminism sources ------------------------------------------
-
-DET1_PATTERNS = [
-    (re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\("),
-     "C rand()/srand(); route randomness through st::stats::Rng"),
-    (re.compile(r"\btime\s*\("),
-     "wall-clock time() seed; experiments must be seed-reproducible"),
-    (re.compile(r"\bstd\s*::\s*random_device\b"),
-     "std::random_device is a nondeterministic seed source"),
-    (re.compile(r"\bsystem_clock\b"),
-     "system_clock reads the wall clock; results would vary per run"),
-]
-DET1_CLOCK_AS_SEED_RE = re.compile(
-    r"\b(?:steady_clock|high_resolution_clock)\b")
-DET1_SEED_CONTEXT_RE = re.compile(r"seed|time_since_epoch", re.IGNORECASE)
-
-
-def check_det1(sf: SourceFile, findings: list[Finding]) -> None:
-    if in_scope(sf.rel, DET1_ALLOWED_PREFIXES):
-        return
-    for lineno, code in enumerate(sf.code_lines, start=1):
-        for pattern, message in DET1_PATTERNS:
-            if pattern.search(code):
-                emit(findings, sf, lineno, "DET-1", message)
-        if DET1_CLOCK_AS_SEED_RE.search(code) and \
-                DET1_SEED_CONTEXT_RE.search(code):
-            emit(findings, sf, lineno, "DET-1",
-                 "monotonic clock used as a seed; timing is fine, "
-                 "seeding is not")
-
-
-# --- DET-2: hash-order iteration --------------------------------------------
-
-def unordered_aliases(files: list[SourceFile]) -> set[str]:
-    """Global pre-pass: names aliased to unordered containers anywhere in
-    the scanned set (e.g. `using PairMap = std::unordered_map<...>`), so
-    a header's alias scopes its users in other files."""
-    aliases: set[str] = set()
-    for sf in files:
-        for match in UNORDERED_ALIAS_RE.finditer(sf.code_text):
-            aliases.add(match.group(1))
-    return aliases
-
-
-def skip_template_args(text: str, open_idx: int) -> int:
-    """Index just past the `>` matching the `<` at open_idx."""
-    depth = 0
-    for i in range(open_idx, len(text)):
-        if text[i] == "<":
-            depth += 1
-        elif text[i] == ">":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return len(text)
-
-
-def unordered_identifiers(sf: SourceFile, aliases: set[str]) -> set[str]:
-    """Identifiers in this file declared with an unordered container type
-    (directly or via a known alias), including accessor functions that
-    return one — `for (auto& kv : ledger.last_counts())` must flag."""
-    text = sf.code_text
-    names: set[str] = set()
-    for match in UNORDERED_DECL_RE.finditer(text):
-        end = skip_template_args(text, match.end() - 1)
-        tail = text[end:end + 160]
-        m = re.match(r"[>\s*&]*(\w+)\s*[;={(,[]", tail)
-        if m and m.group(1) not in {"const", "constexpr", "mutable"}:
-            names.add(m.group(1))
-    for alias in aliases:
-        for m in re.finditer(
-                rf"\b{re.escape(alias)}\b[\s*&]+(\w+)\s*[;={{(,)]", text):
-            names.add(m.group(1))
-    return names
-
-
-def line_of_offset(text: str, offset: int) -> int:
-    return text.count("\n", 0, offset) + 1
-
-
-def own_header_of(sf: SourceFile) -> Path | None:
-    if sf.path.suffix not in {".cpp", ".cc", ".cxx"}:
-        return None
-    for suffix in HEADER_SUFFIXES:
-        candidate = sf.path.with_suffix(suffix)
-        if candidate.exists():
-            return candidate.resolve()
-    return None
-
-
-def check_det2(sf: SourceFile, aliases: set[str],
-               header_idents: dict[Path, set[str]],
-               findings: list[Finding]) -> None:
-    if not in_scope(sf.rel, DET2_SCOPE_PREFIXES):
-        return
-    names = unordered_identifiers(sf, aliases)
-    # A .cpp iterates members its own header declares (e.g. a PairMap
-    # member) — fold the header's unordered identifiers in.
-    header = own_header_of(sf)
-    if header is not None:
-        names |= header_idents.get(header, set())
-    if not names:
-        return
-    text = sf.code_text
-    for match in RANGE_FOR_RE.finditer(text):
-        header = match.group(1)
-        lineno = line_of_offset(text, match.start())
-        colon = TOP_LEVEL_COLON_RE.search(header)
-        if colon:  # range-for: inspect the range expression's root
-            range_expr = header[colon.end():].strip()
-            ident = TRAILING_IDENT_RE.search(range_expr)
-            if ident and ident.group(1) in names:
-                emit(findings, sf, lineno, "DET-2",
-                     f"range-for over unordered container "
-                     f"'{ident.group(1)}': hash order is an implementation "
-                     f"accident; flatten to a vector and sort, or annotate "
-                     f"the sorted-reduction pattern")
-        else:  # iterator loop: for (auto it = m.begin(); ...)
-            it = ITER_BEGIN_RE.search(header)
-            if it and it.group(1) in names:
-                emit(findings, sf, lineno, "DET-2",
-                     f"iterator loop over unordered container "
-                     f"'{it.group(1)}': hash order is an implementation "
-                     f"accident; flatten to a vector and sort first")
-    for match in ALGO_BEGIN_RE.finditer(text):
-        algo, ident = match.group(1), match.group(2)
-        if ident in names:
-            emit(findings, sf, line_of_offset(text, match.start()), "DET-2",
-                 f"{algo}() over unordered container '{ident}': the "
-                 f"accumulation/output order is hash order; flatten to a "
-                 f"vector and sort first")
-    for match in RANGE_INSERT_RE.finditer(text):
-        ident = match.group(1)
-        if ident in names:
-            emit(findings, sf, line_of_offset(text, match.start()), "DET-2",
-                 f"iterator-pair insert/assign from unordered container "
-                 f"'{ident}' materialises hash order; flatten to a vector "
-                 f"and sort first")
-    for match in RANGES_ALGO_RE.finditer(text):
-        algo, ident = match.group(1), match.group(2)
-        if ident in names:
-            emit(findings, sf, line_of_offset(text, match.start()), "DET-2",
-                 f"ranges::{algo} over unordered container '{ident}': the "
-                 f"traversal order is hash order; flatten to a vector and "
-                 f"sort first")
-
-
-# --- CON-1: naked threads ---------------------------------------------------
-
-CON1_THREAD_RE = re.compile(r"\bstd\s*::\s*j?thread\b(?!\s*::)")
-CON1_DETACH_RE = re.compile(r"\.\s*detach\s*\(")
-
-
-def check_con1(sf: SourceFile, findings: list[Finding]) -> None:
-    if in_scope(sf.rel, CON1_ALLOWED_PREFIXES):
-        return
-    for lineno, code in enumerate(sf.code_lines, start=1):
-        if CON1_THREAD_RE.search(code):
-            emit(findings, sf, lineno, "CON-1",
-                 "naked std::thread; submit work to st::util::ThreadPool "
-                 "so shutdown stays exception-safe "
-                 "(std::thread::hardware_concurrency() etc. are fine)")
-        if CON1_DETACH_RE.search(code):
-            emit(findings, sf, lineno, "CON-1",
-                 "detach() abandons the thread past pool shutdown; join "
-                 "via the pool instead")
-
-
-# --- CON-2: raw allocation --------------------------------------------------
-
-CON2_DELETED_FN_RE = re.compile(r"=\s*delete\b")
-CON2_PATTERNS = [
-    (re.compile(r"\bnew\b"), "raw new"),
-    (re.compile(r"\bdelete\b"), "raw delete"),
-    (re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\("), "C allocation"),
-]
-
-
-def check_con2(sf: SourceFile, findings: list[Finding]) -> None:
-    if in_scope(sf.rel, CON2_ALLOWED_PREFIXES):
-        return
-    for lineno, code in enumerate(sf.code_lines, start=1):
-        if "operator" in code:  # allocator machinery declares operator new
-            continue
-        code = CON2_DELETED_FN_RE.sub("", code)  # `= delete;` is hygiene
-        for pattern, what in CON2_PATTERNS:
-            if pattern.search(code):
-                emit(findings, sf, lineno, "CON-2",
-                     f"{what}: use containers or std::make_unique "
-                     f"(allow-list an arena file if one is ever needed)")
-
-
-# --- HYG-1: own header first ------------------------------------------------
-
-def check_hyg1(sf: SourceFile, findings: list[Finding]) -> None:
-    if sf.path.suffix not in {".cpp", ".cc", ".cxx"}:
-        return
-    own_header = None
-    for suffix in HEADER_SUFFIXES:
-        candidate = sf.path.with_suffix(suffix)
-        if candidate.exists():
-            own_header = candidate.name
-            break
-    if own_header is None:  # tests/benches have no own header
-        return
-    for lineno, raw in enumerate(sf.raw_lines, start=1):
-        match = INCLUDE_RE.match(raw)
-        if not match:
-            continue
-        target = match.group(1)
-        if target == own_header or target.endswith("/" + own_header):
-            return
-        emit(findings, sf, lineno, "HYG-1",
-             f"first include is '{target}'; include the file's own header "
-             f"'{own_header}' first to prove it is self-contained")
-        return
-
-
-# --- HYG-2: using namespace in headers --------------------------------------
-
-HYG2_RE = re.compile(r"\busing\s+namespace\b")
-
-
-def check_hyg2(sf: SourceFile, findings: list[Finding]) -> None:
-    if sf.path.suffix not in HEADER_SUFFIXES:
-        return
-    for lineno, code in enumerate(sf.code_lines, start=1):
-        if HYG2_RE.search(code):
-            emit(findings, sf, lineno, "HYG-2",
-                 "using namespace in a header leaks into every includer; "
-                 "use explicit qualification or a local alias")
-
-
-# --- driver -----------------------------------------------------------------
-
-def gather_files(paths: list[Path]) -> list[Path]:
-    files: list[Path] = []
-    for path in paths:
-        if path.is_dir():
-            for child in sorted(path.rglob("*")):
-                if child.suffix in CXX_SUFFIXES and not any(
-                        part in EXCLUDED_DIR_NAMES for part in child.parts):
-                    files.append(child)
-        elif path.is_file():
-            files.append(path)
-        else:
-            raise FileNotFoundError(f"no such file or directory: {path}")
-    return files
-
-
-def run(paths: list[Path], strict: bool) -> tuple[list[Finding], int]:
-    sources = [load_file(p) for p in gather_files(paths)]
-    aliases = unordered_aliases(sources)
-    header_idents = {
-        sf.path.resolve(): unordered_identifiers(sf, aliases)
-        for sf in sources if sf.path.suffix in HEADER_SUFFIXES
-    }
-    findings: list[Finding] = []
-    for sf in sources:
-        check_det1(sf, findings)
-        check_det2(sf, aliases, header_idents, findings)
-        check_con1(sf, findings)
-        check_con2(sf, findings)
-        check_hyg1(sf, findings)
-        check_hyg2(sf, findings)
-        if strict:
-            findings.extend(sf.bad_suppressions)
-    findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings, len(sources)
-
-
-def main(argv: list[str]) -> int:
-    parser = argparse.ArgumentParser(
-        prog="st_lint.py",
-        description="determinism & concurrency linter for the SocialTrust "
-                    "tree (see docs/STATIC_ANALYSIS.md)")
-    parser.add_argument("paths", nargs="*", default=None,
-                        help="files or directories (default: src bench tests)")
-    parser.add_argument("--strict", action="store_true",
-                        help="also enforce suppression hygiene (SUP-1)")
-    parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit findings as JSON on stdout")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule catalogue and exit")
-    args = parser.parse_args(argv)
-
-    if args.list_rules:
-        for rule, description in RULES.items():
-            print(f"{rule}  {description}")
-        return 0
-
-    raw_paths = args.paths or [REPO_ROOT / p for p in DEFAULT_PATHS]
-    try:
-        findings, file_count = run([Path(p) for p in raw_paths], args.strict)
-    except FileNotFoundError as err:
-        print(err, file=sys.stderr)
-        return 2
-
-    if args.as_json:
-        print(json.dumps({
-            "files_scanned": file_count,
-            "findings": [vars(f) for f in findings],
-        }, indent=2))
-    else:
-        for finding in findings:
-            print(finding.as_text(), file=sys.stderr)
-        print(f"st-lint: scanned {file_count} file(s): "
-              f"{'OK' if not findings else f'{len(findings)} finding(s)'}")
-    return 1 if findings else 0
-
+from stlint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main(sys.argv[1:]))

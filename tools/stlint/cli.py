@@ -1,0 +1,150 @@
+"""Driver: file gathering, rule dispatch, budget enforcement, CLI.
+
+tools/st_lint.py execs ``main`` from here; the flags, exit codes, and
+output formats are the stable interface (docs/STATIC_ANALYSIS.md):
+
+  exit 0  clean tree
+  exit 1  findings (or, under --strict, suppression/budget violations)
+  exit 2  usage errors (missing paths)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core import (CXX_SUFFIXES, DEFAULT_PATHS, EXCLUDED_DIR_NAMES,
+                   REPO_ROOT, RULES, Context, Finding, SourceFile,
+                   load_file, rel_path)
+from .rules import concurrency, determinism, hygiene, obs_docs
+from .scopes import collect_aliases
+
+DEFAULT_BUDGET = REPO_ROOT / "tools" / "lint_budget.json"
+DEFAULT_OBS_DOC = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+
+
+def gather_files(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for child in sorted(path.rglob("*")):
+                if child.suffix in CXX_SUFFIXES and not any(
+                        part in EXCLUDED_DIR_NAMES for part in child.parts):
+                    files.append(child)
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+def check_budget(budget_path: Path, files: list[SourceFile],
+                 findings: list[Finding]) -> None:
+    """SUP-2: the checked-in allow() budget. Growing the count without a
+    deliberate budget bump fails --strict lint."""
+    if not budget_path.exists():
+        return
+    try:
+        budget = int(json.loads(budget_path.read_text(encoding="utf-8"))
+                     ["max_allow_sites"])
+    except (ValueError, KeyError, TypeError) as err:
+        findings.append(Finding(rel_path(budget_path), 1, "SUP-2",
+                                f"unreadable budget file: {err}"))
+        return
+    total = sum(sf.allow_sites for sf in files)
+    if total > budget:
+        findings.append(Finding(
+            rel_path(budget_path), 1, "SUP-2",
+            f"{total} st-lint allow() site(s) in the scanned tree exceed "
+            f"the budget of {budget}; remove a suppression, or bump "
+            f"max_allow_sites in the same change that justifies the new "
+            f"one"))
+
+
+def run(paths: list[Path], strict: bool, obs_doc: Path | None = None,
+        budget: Path | None = None) -> tuple[list[Finding], int, int]:
+    sources = [load_file(p) for p in gather_files(paths)]
+    aliases: set[str] = set()
+    for sf in sources:
+        aliases |= collect_aliases(sf.code)
+    ctx = Context(files=sources, aliases=aliases, obs_doc=obs_doc,
+                  by_path={sf.path.resolve(): sf for sf in sources})
+    findings: list[Finding] = []
+    for sf in sources:
+        determinism.check(sf, ctx, findings)
+        concurrency.check(sf, ctx, findings)
+        hygiene.check(sf, ctx, findings)
+        if strict:
+            findings.extend(sf.bad_suppressions)
+    obs_docs.check_tree(ctx, findings)
+    if strict and budget is not None:
+        check_budget(budget, sources, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    allow_sites = sum(sf.allow_sites for sf in sources)
+    return findings, len(sources), allow_sites
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="st_lint.py",
+        description="determinism & concurrency linter for the SocialTrust "
+                    "tree (see docs/STATIC_ANALYSIS.md)")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories (default: src bench tests)")
+    parser.add_argument("--strict", action="store_true",
+                        help="also enforce suppression hygiene (SUP-1) and "
+                             "the allow() budget (SUP-2)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON on stdout")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--obs-doc", metavar="PATH", default=None,
+                        help="metric-reference doc for OBS-1/OBS-2 "
+                             "(default: docs/OBSERVABILITY.md, enabled only "
+                             "when the scan covers the repo's src/ tree)")
+    parser.add_argument("--budget", metavar="PATH", default=None,
+                        help="allow() budget file for SUP-2 "
+                             "(default: tools/lint_budget.json)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule}  {description}")
+        return 0
+
+    raw_paths = args.paths or [REPO_ROOT / p for p in DEFAULT_PATHS]
+    input_paths = [Path(p) for p in raw_paths]
+
+    if args.obs_doc is not None:
+        obs_doc = Path(args.obs_doc)
+    else:
+        # Only diff against the repo's own doc when the scan actually
+        # covers the repo's src/ tree; fixture trees opt in via --obs-doc.
+        repo_src = (REPO_ROOT / "src").resolve()
+        covers_src = any(p.is_dir() and p.resolve() == repo_src
+                         for p in input_paths)
+        obs_doc = DEFAULT_OBS_DOC if covers_src else None
+
+    budget = Path(args.budget) if args.budget is not None else DEFAULT_BUDGET
+
+    try:
+        findings, file_count, allow_sites = run(
+            input_paths, args.strict, obs_doc=obs_doc, budget=budget)
+    except FileNotFoundError as err:
+        print(err, file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        print(json.dumps({
+            "files_scanned": file_count,
+            "allow_sites": allow_sites,
+            "findings": [vars(f) for f in findings],
+        }, indent=2))
+    else:
+        for finding in findings:
+            print(finding.as_text(), file=sys.stderr)
+        print(f"st-lint: scanned {file_count} file(s): "
+              f"{'OK' if not findings else f'{len(findings)} finding(s)'}")
+    return 1 if findings else 0

@@ -1,0 +1,234 @@
+"""C++ tokenizer for stlint.
+
+The regex engine this replaces worked on comment/string-*blanked* lines,
+which meant (a) rule text inside comments and string literals could still
+confuse multi-line patterns, and (b) rules could never *read* a string
+literal (OBS-1 needs the metric-name literal itself). The lexer emits a
+flat token stream where every token knows its kind, text, and line:
+
+  kind        text                                       notes
+  ----------  -----------------------------------------  --------------------
+  comment     full comment text including // or /* */    one token per comment
+  string      the literal including quotes/prefix        .value = contents
+  char        the literal including quotes               .value = contents
+  ident       identifier or keyword
+  number      numeric literal (digit separators kept)
+  pp          whole preprocessor directive (one token,   continuation lines
+              starting line)                             folded in
+  punct       operator/punctuator; `::` and `->` are
+              single tokens, everything else one char
+
+Tokens never span semantic categories: `rand` inside a comment is a
+comment token, so no rule can match it. White space is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+STRING_PREFIXES = ("u8", "u", "U", "L")
+
+
+@dataclass
+class Token:
+    kind: str  # comment | string | char | ident | number | pp | punct
+    text: str
+    line: int
+    value: str = ""  # decoded-ish contents for string/char literals
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind!r}, {self.text!r}, L{self.line})"
+
+
+def _is_ident_start(c: str) -> bool:
+    return c.isalpha() or c == "_"
+
+
+def _is_ident_char(c: str) -> bool:
+    return c.isalnum() or c == "_"
+
+
+class Lexer:
+    def __init__(self, text: str):
+        self.text = text
+        self.n = len(text)
+        self.i = 0
+        self.line = 1
+        self.tokens: list[Token] = []
+
+    def error_context(self) -> str:  # pragma: no cover - debug aid
+        return self.text[max(0, self.i - 20):self.i + 20]
+
+    def _advance_over(self, chunk: str) -> None:
+        self.line += chunk.count("\n")
+
+    def _emit(self, kind: str, start: int, end: int, value: str = "") -> None:
+        chunk = self.text[start:end]
+        self.tokens.append(Token(kind, chunk, self.line, value))
+        self._advance_over(chunk)
+        self.i = end
+
+    def _at_line_start(self) -> bool:
+        j = self.i - 1
+        while j >= 0 and self.text[j] in " \t":
+            j -= 1
+        return j < 0 or self.text[j] == "\n"
+
+    def _lex_line_comment(self) -> None:
+        end = self.text.find("\n", self.i)
+        end = self.n if end == -1 else end
+        self._emit("comment", self.i, end)
+
+    def _lex_block_comment(self) -> None:
+        end = self.text.find("*/", self.i + 2)
+        end = self.n if end == -1 else end + 2
+        self._emit("comment", self.i, end)
+
+    def _lex_pp(self) -> None:
+        """One whole directive, folding backslash continuations and
+        skipping over comments (a // in a directive ends it logically but
+        keeping it in the token is harmless for HYG-1)."""
+        start = self.i
+        j = self.i
+        while j < self.n:
+            nl = self.text.find("\n", j)
+            if nl == -1:
+                j = self.n
+                break
+            # Continuation: backslash (possibly with trailing spaces) ends
+            # the physical line.
+            k = nl - 1
+            while k >= start and self.text[k] in " \t\r":
+                k -= 1
+            if k >= start and self.text[k] == "\\":
+                j = nl + 1
+                continue
+            j = nl
+            break
+        self._emit("pp", start, j)
+
+    def _lex_raw_string(self, prefix_len: int) -> None:
+        # R"delim( ... )delim"
+        open_paren = self.text.find("(", self.i + prefix_len + 1)
+        if open_paren == -1:
+            self._emit("punct", self.i, self.i + 1)
+            return
+        delim = self.text[self.i + prefix_len + 1:open_paren]
+        end_marker = ")" + delim + '"'
+        end = self.text.find(end_marker, open_paren + 1)
+        end = self.n if end == -1 else end + len(end_marker)
+        value = self.text[open_paren + 1:end - len(end_marker)] \
+            if end < self.n or end_marker in self.text else ""
+        self._emit("string", self.i, end, value)
+
+    def _lex_quoted(self, quote: str, kind: str) -> None:
+        j = self.i + 1
+        while j < self.n:
+            c = self.text[j]
+            if c == "\\":
+                j += 2
+                continue
+            if c == quote or c == "\n":  # unterminated: stop at newline
+                j += 1 if c == quote else 0
+                break
+            j += 1
+        else:
+            j = self.n
+        raw = self.text[self.i:j]
+        inner = raw[1:-1] if len(raw) >= 2 and raw.endswith(quote) else raw[1:]
+        self._emit(kind, self.i, j, inner)
+
+    def _lex_ident(self) -> None:
+        j = self.i
+        while j < self.n and _is_ident_char(self.text[j]):
+            j += 1
+        word = self.text[self.i:j]
+        # String-literal prefixes: u8"...", L"...", R"(...)", u8R"(...)".
+        if j < self.n and self.text[j] == '"':
+            if word in STRING_PREFIXES:
+                self._lex_prefixed_string(len(word))
+                return
+            if word.endswith("R") and (word[:-1] in STRING_PREFIXES
+                                       or word == "R"):
+                self._lex_raw_string(len(word))
+                return
+        if j < self.n and self.text[j] == "'" and word in STRING_PREFIXES:
+            saved = self.i
+            self.i = j
+            self._lex_quoted("'", "char")
+            self.tokens[-1].text = self.text[saved:self.i]
+            return
+        self._emit("ident", self.i, j)
+
+    def _lex_prefixed_string(self, prefix_len: int) -> None:
+        saved = self.i
+        self.i += prefix_len
+        self._lex_quoted('"', "string")
+        self.tokens[-1].text = self.text[saved:self.i]
+
+    def _lex_number(self) -> None:
+        j = self.i
+        while j < self.n:
+            c = self.text[j]
+            if c.isalnum() or c == ".":
+                j += 1
+            elif c == "'" and j + 1 < self.n and self.text[j + 1].isalnum():
+                j += 1  # digit separator 1'000'000
+            elif c in "+-" and self.text[j - 1] in "eEpP":
+                j += 1  # exponent sign
+            else:
+                break
+        self._emit("number", self.i, j)
+
+    def _prev_code_char(self) -> str:
+        j = self.i - 1
+        while j >= 0 and self.text[j] in " \t\r\n":
+            j -= 1
+        return self.text[j] if j >= 0 else ""
+
+    def run(self) -> list[Token]:
+        text, n = self.text, self.n
+        while self.i < n:
+            c = text[self.i]
+            nxt = text[self.i + 1] if self.i + 1 < n else ""
+            if c == "\n":
+                self.line += 1
+                self.i += 1
+            elif c in " \t\r\f\v":
+                self.i += 1
+            elif c == "/" and nxt == "/":
+                self._lex_line_comment()
+            elif c == "/" and nxt == "*":
+                self._lex_block_comment()
+            elif c == "#" and self._at_line_start():
+                self._lex_pp()
+            elif c == '"':
+                self._lex_quoted('"', "string")
+            elif c == "'":
+                # A quote between alnums is a digit separator only when
+                # scanning a number; here a bare ' starts a char literal.
+                self._lex_quoted("'", "char")
+            elif _is_ident_start(c):
+                self._lex_ident()
+            elif c.isdigit():
+                self._lex_number()
+            elif c == ":" and nxt == ":":
+                self._emit("punct", self.i, self.i + 2)
+            elif c == "-" and nxt == ">":
+                self._emit("punct", self.i, self.i + 2)
+            else:
+                self._emit("punct", self.i, self.i + 1)
+        return self.tokens
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize C++ source; never raises on malformed input (unterminated
+    literals close at end of line / end of file)."""
+    return Lexer(text).run()
+
+
+def code_tokens(tokens: list[Token]) -> list[Token]:
+    """The sub-stream rules match against: comments and preprocessor
+    directives removed (strings stay — OBS-1 reads them; rules that must
+    not match inside strings check .kind)."""
+    return [t for t in tokens if t.kind not in ("comment", "pp")]

@@ -1,0 +1,9 @@
+"""Rule families.
+
+Each module exposes ``check(sf, ctx, findings)`` run once per scanned
+file; ``obs_docs`` additionally exposes ``check_tree(ctx, findings)``, a
+single cross-file pass (metric uniqueness and the code<->docs diff need
+the whole scan set at once).
+"""
+
+from . import concurrency, determinism, hygiene, obs_docs  # noqa: F401

@@ -1,0 +1,290 @@
+"""DET rules: nondeterminism sources (DET-1), hash-order traversal of
+unordered containers (DET-2), and accessors that leak unordered state to
+callers (DET-3).
+
+DET-2 is the heart of the linter: the parallel update interval promises
+bit-identical results at every thread count (DESIGN.md §11), and one
+hash-order iteration feeding an ordered output or a floating-point
+reduction silently breaks that. The token engine resolves the iterated
+identifier to its declaration (scope-aware, own-header members
+included), so a local ``std::vector<int> counts`` never inherits guilt
+from an unrelated unordered ``counts`` elsewhere, and it recognises the
+sanctioned flatten-then-sort idiom so that pattern no longer needs an
+allow() annotation.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import (DET1_ALLOWED_PREFIXES, DET2_SCOPE_PREFIXES, Context,
+                    Finding, SourceFile, emit, in_scope)
+from ..lexer import Token
+from ..scopes import _match_backward, match_forward, resolve
+
+# Order-sensitive consumers beyond loops: handing an unordered
+# container's begin() to one of these bakes hash order into an output
+# stream or a floating-point reduction just as surely as a range-for.
+ORDER_SENSITIVE_ALGOS = (
+    "accumulate", "reduce", "partial_sum", "inclusive_scan",
+    "exclusive_scan", "copy", "copy_n", "copy_if", "for_each",
+    "transform",
+)
+
+SEED_CONTEXT_RE = re.compile(r"seed|time_since_epoch", re.IGNORECASE)
+
+
+def check(sf: SourceFile, ctx: Context, findings: list[Finding]) -> None:
+    _check_det1(sf, findings)
+    _check_det2(sf, ctx, findings)
+
+
+# --- DET-1: nondeterminism sources ------------------------------------------
+
+def _check_det1(sf: SourceFile, findings: list[Finding]) -> None:
+    if in_scope(sf.rel, DET1_ALLOWED_PREFIXES):
+        return
+    code = sf.code
+    n = len(code)
+    line_idents: dict[int, list[str]] = {}
+    for t in code:
+        if t.kind == "ident":
+            line_idents.setdefault(t.line, []).append(t.text)
+    seen: set[tuple[int, str]] = set()
+
+    def fire(line: int, message: str) -> None:
+        if (line, message) not in seen:
+            seen.add((line, message))
+            emit(findings, sf, line, "DET-1", message)
+
+    for i, t in enumerate(code):
+        if t.kind != "ident":
+            continue
+        nxt = code[i + 1].text if i + 1 < n else ""
+        if t.text in ("rand", "srand") and nxt == "(":
+            fire(t.line, "C rand()/srand(); route randomness through "
+                         "st::stats::Rng")
+        elif t.text == "time" and nxt == "(":
+            fire(t.line, "wall-clock time() seed; experiments must be "
+                         "seed-reproducible")
+        elif t.text == "random_device":
+            fire(t.line, "std::random_device is a nondeterministic seed "
+                         "source")
+        elif t.text == "system_clock":
+            fire(t.line, "system_clock reads the wall clock; results would "
+                         "vary per run")
+        elif t.text in ("steady_clock", "high_resolution_clock"):
+            if any(SEED_CONTEXT_RE.search(w)
+                   for w in line_idents.get(t.line, [])):
+                fire(t.line, "monotonic clock used as a seed; timing is "
+                             "fine, seeding is not")
+
+
+# --- DET-2 / DET-3: hash-order traversal ------------------------------------
+
+def _top_level_colon(code: list[Token], lo: int, hi: int) -> int | None:
+    depth = 0
+    for j in range(lo, hi):
+        t = code[j].text
+        if t in ("(", "[", "{"):
+            depth += 1
+        elif t in (")", "]", "}"):
+            depth -= 1
+        elif t == ":" and depth == 0:
+            return j
+    return None
+
+
+def _chain_root(code: list[Token], lo: int,
+                hi: int) -> tuple[str | None, str, int]:
+    """Classify the expression code[lo:hi): ('var', name, idx) when it
+    ends in an identifier, ('call', fname, idx) when it ends in a call."""
+    last = hi - 1
+    if last < lo:
+        return None, "", -1
+    t = code[last]
+    if t.text == ")":
+        open_p = _match_backward(code, last, "(", ")")
+        f = open_p - 1
+        if f >= lo and code[f].kind == "ident":
+            return "call", code[f].text, f
+        return None, "", -1
+    if t.kind == "ident":
+        return "var", t.text, last
+    return None, "", -1
+
+
+def _begin_roots(code: list[Token], lo: int, hi: int):
+    """`X.begin(` / `X->cbegin(` / `f(...).begin(` occurrences inside
+    code[lo:hi): yields (line, kind, name, idx) per the root X or f."""
+    for j in range(lo + 1, min(hi, len(code))):
+        t = code[j]
+        if t.kind != "ident" or t.text not in ("begin", "cbegin"):
+            continue
+        if code[j - 1].text not in (".", "->"):
+            continue
+        if j + 1 >= len(code) or code[j + 1].text != "(":
+            continue
+        k = j - 2
+        if k >= lo and code[k].kind == "ident":
+            yield t.line, "var", code[k].text, k
+        elif k >= lo and code[k].text == ")":
+            open_p = _match_backward(code, k, "(", ")")
+            f = open_p - 1
+            if f >= lo and code[f].kind == "ident":
+                yield t.line, "call", code[f].text, f
+
+
+def _statement_end(code: list[Token], j: int) -> int:
+    """Index just past the `;` ending the statement starting at j."""
+    depth = 0
+    n = len(code)
+    while j < n:
+        t = code[j].text
+        if t in ("(", "[", "{"):
+            depth += 1
+        elif t in (")", "]", "}"):
+            depth -= 1
+        elif t == ";" and depth == 0:
+            return j + 1
+        j += 1
+    return n
+
+
+def _sanctioned_flatten(code: list[Token], close_paren: int) -> bool:
+    """True when the range-for body only push_back/emplace_back's into a
+    single vector V and a sort over V follows the loop — the sanctioned
+    flatten-then-sort idiom (the subsequent sort pins the order, so hash
+    order never reaches an output or a reduction)."""
+    n = len(code)
+    b = close_paren + 1
+    if b >= n:
+        return False
+    if code[b].text == "{":
+        body_lo, body_hi = b + 1, match_forward(code, b, "{", "}")
+        after = body_hi + 1
+    else:
+        body_lo = b
+        after = _statement_end(code, b)
+        body_hi = after
+    target: str | None = None
+    j = body_lo
+    while j < body_hi:
+        if code[j].text == ";":
+            j += 1
+            continue
+        if not (code[j].kind == "ident" and j + 3 < body_hi
+                and code[j + 1].text in (".", "->")
+                and code[j + 2].kind == "ident"
+                and code[j + 2].text in ("push_back", "emplace_back")
+                and code[j + 3].text == "("):
+            return False
+        if target is None:
+            target = code[j].text
+        elif target != code[j].text:
+            return False
+        call_close = match_forward(code, j + 3, "(", ")")
+        if call_close + 1 >= body_hi + 1 or code[call_close + 1].text != ";":
+            return False
+        j = call_close + 2
+    if target is None:
+        return False
+    limit = min(n, after + 80)
+    j = after
+    while j < limit:
+        t = code[j]
+        if t.kind == "ident" and t.text in ("sort", "stable_sort") and \
+                j + 2 < n and code[j + 1].text == "(" and \
+                code[j + 2].kind == "ident" and code[j + 2].text == target:
+            return True
+        j += 1
+    return False
+
+
+def _check_det2(sf: SourceFile, ctx: Context,
+                findings: list[Finding]) -> None:
+    if not in_scope(sf.rel, DET2_SCOPE_PREFIXES):
+        return
+    code = sf.code
+    tree = sf.scopes
+    n = len(code)
+    decls = ctx.decls_for(sf)
+    externs = ctx.externs_for(sf)
+    accessors = ctx.accessors_for(sf)
+    seen: set[tuple[int, str, str]] = set()
+
+    def fire(line: int, rule: str, message: str) -> None:
+        if (line, rule, message) not in seen:
+            seen.add((line, rule, message))
+            emit(findings, sf, line, rule, message)
+
+    def is_unordered(name: str, idx: int) -> bool:
+        return resolve(name, tree.at(idx), idx, decls, externs) is not None
+
+    def fire_det3(line: int, fname: str, how: str) -> None:
+        fire(line, "DET-3",
+             f"{how} {fname}(): it returns a reference/iterator into an "
+             f"unordered container, so the traversal is hash order; "
+             f"flatten to a vector and sort at the call site, or have the "
+             f"accessor return a sorted copy")
+
+    for i, t in enumerate(code):
+        if t.kind != "ident" or i + 1 >= n or code[i + 1].text != "(":
+            continue
+        if t.text == "for":
+            close = match_forward(code, i + 1, "(", ")")
+            colon = _top_level_colon(code, i + 2, close)
+            if colon is not None:  # range-for
+                kind, name, idx = _chain_root(code, colon + 1, close)
+                if kind == "var" and is_unordered(name, idx):
+                    if not _sanctioned_flatten(code, close):
+                        fire(t.line, "DET-2",
+                             f"range-for over unordered container '{name}': "
+                             f"hash order is an implementation accident; "
+                             f"flatten to a vector and sort, or annotate "
+                             f"the sorted-reduction pattern")
+                elif kind == "call" and name in accessors:
+                    fire_det3(t.line, name, "range-for over")
+            else:  # iterator loop: for (auto it = m.begin(); ...)
+                for line, kind, name, idx in _begin_roots(code, i + 1, close):
+                    if kind == "var" and is_unordered(name, idx):
+                        fire(line, "DET-2",
+                             f"iterator loop over unordered container "
+                             f"'{name}': hash order is an implementation "
+                             f"accident; flatten to a vector and sort first")
+                    elif kind == "call" and name in accessors:
+                        fire_det3(line, name, "iterator loop over")
+        elif t.text in ORDER_SENSITIVE_ALGOS:
+            if i > 0 and code[i - 1].text in (".", "->"):
+                continue  # member function that shares an algorithm's name
+            close = match_forward(code, i + 1, "(", ")")
+            if i >= 2 and code[i - 1].text == "::" and \
+                    code[i - 2].text == "ranges":
+                k = i + 2
+                if k < close and code[k].kind == "ident" and \
+                        code[k + 1].text in (",", ")"):
+                    if is_unordered(code[k].text, k):
+                        fire(t.line, "DET-2",
+                             f"ranges::{t.text} over unordered container "
+                             f"'{code[k].text}': the traversal order is "
+                             f"hash order; flatten to a vector and sort "
+                             f"first")
+            for line, kind, name, idx in _begin_roots(code, i + 1, close):
+                if kind == "var" and is_unordered(name, idx):
+                    fire(t.line, "DET-2",
+                         f"{t.text}() over unordered container '{name}': "
+                         f"the accumulation/output order is hash order; "
+                         f"flatten to a vector and sort first")
+                elif kind == "call" and name in accessors:
+                    fire_det3(t.line, name, f"{t.text}() over")
+        elif t.text in ("insert", "assign") and i > 0 and \
+                code[i - 1].text in (".", "->"):
+            close = match_forward(code, i + 1, "(", ")")
+            for line, kind, name, idx in _begin_roots(code, i + 1, close):
+                if kind == "var" and is_unordered(name, idx):
+                    fire(t.line, "DET-2",
+                         f"iterator-pair insert/assign from unordered "
+                         f"container '{name}' materialises hash order; "
+                         f"flatten to a vector and sort first")
+                elif kind == "call" and name in accessors:
+                    fire_det3(t.line, name, "iterator-pair insert from")

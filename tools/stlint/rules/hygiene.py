@@ -1,0 +1,61 @@
+"""HYG rules: include hygiene and namespace leakage.
+
+HYG-2 is scope-aware under the token engine: a `using namespace` inside
+a function body in a header pollutes nothing outside that body and is
+allowed; only namespace/class/file scope leaks into every includer.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import (HEADER_SUFFIXES, Context, Finding, SourceFile, emit)
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*["<]([^">]+)[">]')
+
+
+def check(sf: SourceFile, ctx: Context, findings: list[Finding]) -> None:
+    _check_hyg1(sf, findings)
+    _check_hyg2(sf, findings)
+
+
+def _check_hyg1(sf: SourceFile, findings: list[Finding]) -> None:
+    if sf.path.suffix not in {".cpp", ".cc", ".cxx"}:
+        return
+    own_header = None
+    for suffix in HEADER_SUFFIXES:
+        candidate = sf.path.with_suffix(suffix)
+        if candidate.exists():
+            own_header = candidate.name
+            break
+    if own_header is None:  # tests/benches have no own header
+        return
+    for t in sf.tokens:
+        if t.kind != "pp":
+            continue
+        match = INCLUDE_RE.match(t.text)
+        if not match:
+            continue
+        target = match.group(1)
+        if target == own_header or target.endswith("/" + own_header):
+            return
+        emit(findings, sf, t.line, "HYG-1",
+             f"first include is '{target}'; include the file's own header "
+             f"'{own_header}' first to prove it is self-contained")
+        return
+
+
+def _check_hyg2(sf: SourceFile, findings: list[Finding]) -> None:
+    if sf.path.suffix not in HEADER_SUFFIXES:
+        return
+    code = sf.code
+    n = len(code)
+    for i, t in enumerate(code):
+        if t.kind == "ident" and t.text == "using" and i + 1 < n and \
+                code[i + 1].kind == "ident" and \
+                code[i + 1].text == "namespace":
+            if sf.scopes.at(i).function is None:
+                emit(findings, sf, t.line, "HYG-2",
+                     "using namespace in a header leaks into every "
+                     "includer; use explicit qualification, a local "
+                     "alias, or confine it to a function body")

@@ -1,0 +1,114 @@
+"""OBS rules: metric-name discipline and code<->docs consistency.
+
+Both directions diff the same two tables:
+
+  * registrations — every string literal passed to a counter()/gauge()/
+    histogram() factory in the scanned src/ tree (the lexer hands the
+    rule the literal's decoded value, which the v1 line-scrubber could
+    never do), and
+  * the Metric reference tables in docs/OBSERVABILITY.md.
+
+OBS-1 fires on a registration that is not dot-separated snake_case, not
+globally unique, or missing from the doc; OBS-2 fires on a doc row whose
+metric no longer exists in code. Renaming a metric on either side
+without the other therefore fails lint in exactly one direction each.
+
+The doc diff only runs when the scan covers the repo's real src/ tree
+(or a fixture explicitly passes --obs-doc): diffing a partial scan or a
+fixture tree against the repo's documentation would drown it in false
+positives.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core import (OBS_SCOPE_PREFIXES, Context, Finding, SourceFile, emit,
+                    in_scope, rel_path)
+
+METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+SNAKE_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+DOC_ROW_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+
+
+def check(sf: SourceFile, ctx: Context, findings: list[Finding]) -> None:
+    """Per-file pass is a no-op; OBS is inherently cross-file."""
+
+
+def registrations(sf: SourceFile) -> list[tuple[int, str]]:
+    """(line, metric-name) for every factory call with a literal name."""
+    out: list[tuple[int, str]] = []
+    code = sf.code
+    n = len(code)
+    for i, t in enumerate(code):
+        if t.kind == "ident" and t.text in METRIC_FACTORIES and \
+                i + 2 < n and code[i + 1].text == "(" and \
+                code[i + 2].kind == "string":
+            out.append((code[i + 2].line, code[i + 2].value))
+    return out
+
+
+def parse_doc(path) -> list[tuple[int, str]]:
+    """(line, name) for every `name` row in the Metric reference tables,
+    skipping fenced code blocks."""
+    names: list[tuple[int, str]] = []
+    in_reference = False
+    in_fence = False
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        if stripped.startswith("## "):
+            in_reference = stripped[3:].strip().lower().startswith(
+                "metric reference")
+            continue
+        if not in_reference:
+            continue
+        match = DOC_ROW_RE.match(stripped)
+        if match:
+            names.append((lineno, match.group(1)))
+    return names
+
+
+def check_tree(ctx: Context, findings: list[Finding]) -> None:
+    if ctx.obs_doc is None:
+        return
+    regs: list[tuple[SourceFile, int, str]] = []
+    for sf in ctx.files:
+        if not in_scope(sf.rel, OBS_SCOPE_PREFIXES):
+            continue
+        for line, name in registrations(sf):
+            regs.append((sf, line, name))
+    doc_exists = ctx.obs_doc.exists()
+    doc_rel = rel_path(ctx.obs_doc)
+    doc_names = parse_doc(ctx.obs_doc) if doc_exists else []
+    documented = {name for _, name in doc_names}
+    first_site: dict[str, tuple[SourceFile, int]] = {}
+    for sf, line, name in regs:
+        if not SNAKE_RE.match(name):
+            emit(findings, sf, line, "OBS-1",
+                 f"metric name '{name}' is not dot-separated snake_case")
+        if name in first_site:
+            prev_sf, prev_line = first_site[name]
+            emit(findings, sf, line, "OBS-1",
+                 f"metric '{name}' already registered at "
+                 f"{prev_sf.rel}:{prev_line}; resolve each metric handle "
+                 f"at exactly one site and pass the handle around")
+        else:
+            first_site[name] = (sf, line)
+        if doc_exists and name not in documented:
+            emit(findings, sf, line, "OBS-1",
+                 f"metric '{name}' is not documented in {doc_rel}; add a "
+                 f"row to the Metric reference table")
+    registered = {name for _, _, name in regs}
+    for line, name in doc_names:
+        if name not in registered:
+            findings.append(Finding(
+                doc_rel, line, "OBS-2",
+                f"metric '{name}' is documented but registered nowhere in "
+                f"the scanned src/ tree; remove the row or restore the "
+                f"metric"))

@@ -1,0 +1,383 @@
+"""Scope tracking and declaration resolution over the token stream.
+
+Builds a lexical scope tree by walking the comment-free token stream and
+classifying every `{`:
+
+  namespace   `namespace [name] {`
+  class       `class|struct|union|enum [...] name [...] {`
+  function    `... name ( params ) [qualifiers] {` at file/namespace/class
+              scope (out-of-line members keep their `Cls::name` qualifier)
+  lambda      `] [...] [( params )] [qualifiers] {`
+  block       control-flow bodies and bare blocks inside functions
+  init        braced initializer lists (`= {`, `{1, 2}`, `T{...}`, ...)
+
+The tree only needs to be right enough for the rules: DET-2 resolves an
+iterated identifier to its nearest declaration instead of a file-global
+name set (a local `std::vector<int> counts` no longer inherits guilt from
+an unrelated unordered `counts` elsewhere), HYG-2 distinguishes
+namespace-scope `using namespace` from a function-local one, and the LOCK
+family needs "the rest of the enclosing block" as a lock's extent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .lexer import Token
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch"}
+UNORDERED_TYPES = {"unordered_map", "unordered_set", "unordered_multimap",
+                   "unordered_multiset"}
+CLASS_KEYWORDS = {"class", "struct", "union", "enum"}
+# Tokens that may sit between a function's closing `)` and its body `{`.
+FUNC_TAIL_IDENTS = {"const", "noexcept", "override", "final", "mutable",
+                    "volatile", "try", "requires"}
+
+
+@dataclass
+class Scope:
+    kind: str  # file | namespace | class | function | lambda | block | init
+    name: str = ""           # namespace/class/function name ('' otherwise)
+    parent: "Scope | None" = None
+    start: int = 0           # index of `{` in the code-token stream
+    end: int = -1            # index of matching `}` (-1 = EOF)
+    children: list["Scope"] = field(default_factory=list)
+
+    def chain(self):
+        s: Scope | None = self
+        while s is not None:
+            yield s
+            s = s.parent
+
+    def enclosing(self, *kinds: str) -> "Scope | None":
+        for s in self.chain():
+            if s.kind in kinds:
+                return s
+        return None
+
+    @property
+    def function(self) -> "Scope | None":
+        """Innermost enclosing function or lambda body."""
+        return self.enclosing("function", "lambda")
+
+
+@dataclass
+class Declaration:
+    name: str
+    scope: Scope
+    index: int  # token index of the declared name
+    line: int
+    type_name: str  # 'unordered' for containers we track, else the alias id
+
+
+def skip_template(tokens: list[Token], i: int) -> int:
+    """Index just past the `>` matching the `<` at tokens[i] (which must
+    be `<`). Tolerates `>>`-free streams (the lexer never merges them)."""
+    depth = 0
+    while i < len(tokens):
+        t = tokens[i].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif t in ("{", "}", ";"):
+            return i  # not template args after all
+        i += 1
+    return i
+
+
+def match_forward(tokens: list[Token], i: int, open_t: str,
+                  close_t: str) -> int:
+    """Index of the token matching tokens[i] == open_t, or len(tokens)."""
+    depth = 0
+    while i < len(tokens):
+        t = tokens[i].text
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(tokens)
+
+
+def _classify_brace(tokens: list[Token], i: int,
+                    current: Scope) -> tuple[str, str]:
+    """(kind, name) for the `{` at index i, looking backwards."""
+    j = i - 1
+
+    def prev_text(k: int) -> str:
+        return tokens[k].text if 0 <= k < len(tokens) else ""
+
+    # Walk back over function-tail qualifiers / trailing return types to
+    # find the shape `) ... {`, `] ... {` (lambda without params), etc.
+    k = j
+    saw_tail = False
+    while k >= 0 and (
+            (tokens[k].kind == "ident" and tokens[k].text in FUNC_TAIL_IDENTS)
+            or tokens[k].text in ("&", "&&")):
+        saw_tail = True
+        k -= 1
+    if k >= 0 and tokens[k].text == ")":
+        open_paren = _match_backward(tokens, k, "(", ")")
+        before = open_paren - 1
+        if before >= 0 and tokens[before].text == "]":
+            return "lambda", ""
+        # `for (...) {` etc.
+        name_idx = before
+        if name_idx >= 0 and tokens[name_idx].kind == "ident":
+            word = tokens[name_idx].text
+            if word in CONTROL_KEYWORDS:
+                return "block", ""
+            # Function definition: qualified name before the param list.
+            name = word
+            q = name_idx - 1
+            while q - 1 >= 0 and tokens[q].text == "::" and \
+                    tokens[q - 1].kind == "ident":
+                name = tokens[q - 1].text + "::" + name
+                q -= 2
+            if current.kind in ("file", "namespace", "class"):
+                return "function", name
+            # `) {` inside a function is a control body or a functor call.
+            return "block", ""
+        if name_idx >= 0 and tokens[name_idx].text == ">":
+            # operator()/templated call or a decltype — treat as function
+            # when at declarative scope.
+            if current.kind in ("file", "namespace", "class"):
+                return "function", ""
+            return "block", ""
+        return "block", ""
+    if k >= 0 and tokens[k].text == "]":
+        return "lambda", ""  # capture list with no parameter list
+    if saw_tail:
+        return "block", ""
+
+    if j >= 0:
+        pj = tokens[j]
+        if pj.kind == "ident":
+            if pj.text in ("else", "do", "try"):
+                return "block", ""
+            if pj.text == "namespace":
+                return "namespace", ""
+            # `namespace foo {` / `class Bar {` / `struct Bar : Base {`.
+            k = j
+            while k >= 0 and (tokens[k].kind == "ident"
+                              or tokens[k].text in ("::", ":", ",", "<", ">",
+                                                    "final")):
+                if tokens[k].kind == "ident" and \
+                        tokens[k].text == "namespace":
+                    name = prev_text(k + 1)
+                    return "namespace", name if name != "{" else ""
+                if tokens[k].kind == "ident" and tokens[k].text in \
+                        CLASS_KEYWORDS:
+                    return "class", _class_name(tokens, k, i)
+                k -= 1
+            if pj.text == "export":
+                return "block", ""
+            return "init", ""  # `= {`, `T{...}`, `return {...}` etc.
+        if pj.text in ("=", "(", ",", "{", "return", ">"):
+            return "init", ""
+    return "block", ""
+
+
+def _match_backward(tokens: list[Token], i: int, open_t: str,
+                    close_t: str) -> int:
+    depth = 0
+    while i >= 0:
+        t = tokens[i].text
+        if t == close_t:
+            depth += 1
+        elif t == open_t:
+            depth -= 1
+            if depth == 0:
+                return i
+        i -= 1
+    return 0
+
+
+def _class_name(tokens: list[Token], kw: int, brace: int) -> str:
+    """Name of the class declared by the keyword at kw, body at brace."""
+    name = ""
+    k = kw + 1
+    while k < brace:
+        t = tokens[k]
+        if t.text == ":" or t.text == "{":
+            break
+        if t.kind == "ident" and t.text not in ("final", "alignas", "class"):
+            name = t.text
+        if t.text == "<":
+            k = skip_template(tokens, k)
+            continue
+        k += 1
+    return name
+
+
+class ScopeTree:
+    """Scope tree plus a per-token scope map over a code-token stream."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.file_scope = Scope("file")
+        # scope_of[i] = innermost scope containing tokens[i]
+        self.scope_of: list[Scope] = [self.file_scope] * len(tokens)
+        self._build()
+
+    def _build(self) -> None:
+        current = self.file_scope
+        stack = [current]
+        for i, tok in enumerate(self.tokens):
+            self.scope_of[i] = current
+            if tok.text == "{":
+                kind, name = _classify_brace(self.tokens, i, current)
+                child = Scope(kind, name, current, start=i)
+                current.children.append(child)
+                stack.append(child)
+                current = child
+                self.scope_of[i] = child
+            elif tok.text == "}":
+                current.end = i
+                if len(stack) > 1:
+                    stack.pop()
+                    current = stack[-1]
+                # else: unbalanced `}` — stay at file scope.
+
+    def at(self, index: int) -> Scope:
+        if 0 <= index < len(self.scope_of):
+            return self.scope_of[index]
+        return self.file_scope
+
+
+def collect_declarations(tokens: list[Token], tree: ScopeTree,
+                         aliases: set[str]) -> list[Declaration]:
+    """Declarations of variables (and accessor-style members) whose type
+    is an unordered container, written directly or via a known alias.
+
+    Handles `std::unordered_map<...> name`, `const PairMap& name`, and the
+    accessor shape `unordered_map<...>& name() { return member_; }` (the
+    name is recorded either way; rules that care distinguish via the
+    following token)."""
+    decls: list[Declaration] = []
+    n = len(tokens)
+    i = 0
+    while i < n:
+        t = tokens[i]
+        if t.kind != "ident":
+            i += 1
+            continue
+        is_unordered = t.text in UNORDERED_TYPES
+        is_alias = t.text in aliases
+        if not (is_unordered or is_alias):
+            i += 1
+            continue
+        j = i + 1
+        if is_unordered:
+            if j >= n or tokens[j].text != "<":
+                i += 1
+                continue
+            j = skip_template(tokens, j)
+        # Skip ref/pointer/cv noise between type and declarator.
+        while j < n and (tokens[j].text in ("&", "&&", "*")
+                         or (tokens[j].kind == "ident"
+                             and tokens[j].text in ("const", "constexpr",
+                                                    "mutable", "static"))):
+            j += 1
+        if j < n and tokens[j].kind == "ident":
+            after = tokens[j + 1].text if j + 1 < n else ""
+            if after in (";", "=", "{", "(", ",", ")", "["):
+                decls.append(Declaration(tokens[j].text, tree.at(j), j,
+                                         tokens[j].line,
+                                         "unordered"))
+        i = j if j > i else i + 1
+    return decls
+
+
+def collect_accessors(tokens: list[Token], aliases: set[str]) -> set[str]:
+    """Names of functions that return a reference or iterator *into* an
+    unordered container (`const PairMap& last_counts()`,
+    `unordered_map<K,V>::iterator find_slot()`), the DET-3 shapes. A
+    function returning the container *by value* hands the caller a copy
+    and is not collected."""
+    names: set[str] = set()
+    n = len(tokens)
+    i = 0
+    while i < n:
+        t = tokens[i]
+        is_unordered = t.kind == "ident" and t.text in UNORDERED_TYPES
+        is_alias = t.kind == "ident" and t.text in aliases
+        if not (is_unordered or is_alias):
+            i += 1
+            continue
+        j = i + 1
+        if j < n and tokens[j].text == "<":
+            j = skip_template(tokens, j)
+        elif is_unordered:
+            i += 1
+            continue
+        into = False
+        if j + 1 < n and tokens[j].text == "::" and \
+                tokens[j + 1].kind == "ident" and \
+                "iterator" in tokens[j + 1].text:
+            into = True
+            j += 2
+        while j < n and (tokens[j].text in ("&", "&&")
+                         or (tokens[j].kind == "ident"
+                             and tokens[j].text == "const")):
+            if tokens[j].text in ("&", "&&"):
+                into = True
+            j += 1
+        if into and j + 1 < n and tokens[j].kind == "ident" and \
+                tokens[j + 1].text == "(":
+            names.add(tokens[j].text)
+        i = max(j, i + 1)
+    return names
+
+
+def collect_aliases(tokens: list[Token]) -> set[str]:
+    """`using Name = std::unordered_map<...>` / `typedef ... Name` names."""
+    aliases: set[str] = set()
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.kind == "ident" and t.text == "using" and i + 2 < n and \
+                tokens[i + 1].kind == "ident" and tokens[i + 2].text == "=":
+            j = i + 3
+            limit = min(n, j + 8)
+            while j < limit:
+                if tokens[j].kind == "ident" and \
+                        tokens[j].text.startswith("unordered_"):
+                    aliases.add(tokens[i + 1].text)
+                    break
+                j += 1
+    return aliases
+
+
+def resolve(name: str, use_scope: Scope, use_index: int,
+            decls: list[Declaration],
+            extern_names: set[str]) -> Declaration | None:
+    """Nearest declaration of `name` visible from `use_scope`: innermost
+    lexical scope first, then (for out-of-line member functions) any
+    class-or-file-scope declaration, then the cross-file set
+    `extern_names` (own-header members, shared aliases) as a synthetic
+    match."""
+    candidates = [d for d in decls if d.name == name]
+    best: Declaration | None = None
+    best_depth = -1
+    ancestors = list(use_scope.chain())
+    for d in candidates:
+        if d.scope in ancestors and d.index <= use_index:
+            depth = len(list(d.scope.chain()))
+            if depth > best_depth:
+                best, best_depth = d, depth
+    if best is not None:
+        return best
+    # Member access from an out-of-line definition: class/file-scope decls
+    # are visible even though not lexical ancestors.
+    for d in candidates:
+        if d.scope.kind in ("class", "file", "namespace"):
+            return d
+    if name in extern_names:
+        return Declaration(name, use_scope.enclosing("file") or use_scope,
+                           -1, 0, "unordered")
+    return None
