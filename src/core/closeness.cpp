@@ -1,6 +1,7 @@
 #include "core/closeness.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -13,20 +14,29 @@ ClosenessModel::ClosenessModel(bool weighted, double lambda,
       lambda_(lambda),
       weight_fn_(weight_fn ? std::move(weight_fn)
                            : RelationshipWeightFn(
-                                 graph::default_relationship_weight)) {}
+                                 graph::default_relationship_weight)) {
+  // Tabulate the mass of every possible relationship-type set up front
+  // (the weight_fn is evaluated here, once per type per mask, instead of
+  // lazily per edge — it must be a pure weight mapping, per the class
+  // contract). relationship_mass then reduces to one table read.
+  for (std::size_t mask = 0; mask < (1U << graph::kRelationshipCount);
+       ++mask) {
+    mass_table_[mask] = mass_of_mask(static_cast<std::uint8_t>(mask));
+  }
+}
 
-double ClosenessModel::relationship_mass(const graph::SocialGraph& g,
-                                         graph::NodeId i,
-                                         graph::NodeId j) const {
+double ClosenessModel::mass_of_mask(std::uint8_t mask) const {
   if (!weighted_) {
-    return static_cast<double>(g.relationship_count(i, j));
+    return static_cast<double>(std::popcount(mask));
   }
   // Eq. (10): sort relationship weights descending, decay the l-th by
   // lambda^(l-1), sum. Adding many weak relationships therefore changes
   // the mass only marginally.
   std::vector<double> weights;
-  for (graph::Relationship r : g.relationships(i, j)) {
-    weights.push_back(weight_fn_(r));
+  for (std::size_t i = 0; i < graph::kRelationshipCount; ++i) {
+    if (mask & (1U << i)) {
+      weights.push_back(weight_fn_(static_cast<graph::Relationship>(i)));
+    }
   }
   std::sort(weights.begin(), weights.end(), std::greater<>());
   double mass = 0.0;
@@ -36,6 +46,12 @@ double ClosenessModel::relationship_mass(const graph::SocialGraph& g,
     decay *= lambda_;
   }
   return mass;
+}
+
+double ClosenessModel::relationship_mass(const graph::SocialGraph& g,
+                                         graph::NodeId i,
+                                         graph::NodeId j) const {
+  return mass_table_[g.relationship_mask(i, j)];
 }
 
 double ClosenessModel::adjacent_closeness(const graph::SocialGraph& g,

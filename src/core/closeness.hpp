@@ -74,9 +74,17 @@ class ClosenessModel {
   double relationship_mass(const graph::SocialGraph& g, graph::NodeId i,
                            graph::NodeId j) const;
 
+  /// Eq. (10)/(2) mass for one relationship bitmask (see
+  /// SocialGraph::relationship_mask). Evaluated by the same sort-and-decay
+  /// code for every mask at construction, then served from mass_table_ —
+  /// adjacent_closeness sits in the innermost friend-of-friend loop, and
+  /// the mass depends on nothing but the (at most 2^6-state) type set.
+  double mass_of_mask(std::uint8_t mask) const;
+
   bool weighted_;
   double lambda_;
   RelationshipWeightFn weight_fn_;
+  double mass_table_[1U << graph::kRelationshipCount];
 };
 
 }  // namespace st::core

@@ -46,6 +46,22 @@ enum class BaselineSource : std::uint8_t {
   kHybrid,
 };
 
+/// How update() schedules the per-pair coefficient work across intervals
+/// (DESIGN.md §14).
+enum class UpdateSchedule : std::uint8_t {
+  /// Recompute closeness/similarity for every active pair each interval.
+  /// This is the exact-by-construction oracle the differential test
+  /// harness compares the dirty scheduler against.
+  kFullWalk,
+  /// Carry clean pairs' coefficients and per-rater leave-one-out
+  /// aggregates forward across intervals and recompute only the pairs
+  /// whose cached social state was invalidated since the last interval.
+  /// Bit-identical to kFullWalk at every thread count (the carried values
+  /// are exactly what a recompute would return while their revision
+  /// witnesses hold); only the cost differs. Default.
+  kDirtyPairs,
+};
+
 struct SocialTrustConfig {
   // --- Gaussian filter (Eqs. 5-9) ---
   /// Peak height alpha; paper Section 5.1 sets alpha = 1.
@@ -100,6 +116,15 @@ struct SocialTrustConfig {
   /// every value: work is split into fixed-size pair blocks and reduced in
   /// block-index order regardless of the worker count.
   std::size_t threads = 1;
+
+  /// Per-pair work scheduling across update intervals. kDirtyPairs (the
+  /// default) maintains a persistent dirty-pair worklist — pairs with new
+  /// ratings plus pairs whose cached closeness/similarity witnesses were
+  /// invalidated by graph/profile revision bumps — and carries every
+  /// clean pair forward; kFullWalk recomputes every active pair and
+  /// serves as the differential-test oracle. Outputs are bit-identical
+  /// either way (tests/incremental_state_test.cpp pins this).
+  UpdateSchedule schedule = UpdateSchedule::kDirtyPairs;
 
   /// Generation-based eviction for the social-state cache's value layer
   /// (closeness/similarity memos). 0 (default) = never evict; n > 0 =

@@ -31,11 +31,19 @@ void SocialStateCache::begin_interval(std::size_t evict_after) {
   for (std::size_t s = 0; s < kShards; ++s) {
     Shard& shard = shards_[s];
     std::lock_guard lock(shard.mutex);
+    // Evicted keys go to the erase log: the entries are valid right now,
+    // but a consumer carrying their values would otherwise never hear
+    // about a *later* state change (the revalidation sweep can only
+    // report entries that still exist).
     erased += std::erase_if(shard.closeness, [&](const auto& kv) {
-      return expired(kv.second.last_touch);
+      if (!expired(kv.second.last_touch)) return false;
+      if (tracking_) shard.dirty_closeness.push_back(kv.first);
+      return true;
     });
     erased += std::erase_if(shard.similarity, [&](const auto& kv) {
-      return expired(kv.second.last_touch);
+      if (!expired(kv.second.last_touch)) return false;
+      if (tracking_) shard.dirty_similarity.push_back(kv.first);
+      return true;
     });
   }
   if (erased > 0) {
@@ -46,7 +54,7 @@ void SocialStateCache::begin_interval(std::size_t evict_after) {
 
 bool SocialStateCache::Validity::valid(
     const graph::SocialGraph& g) const noexcept {
-  if (structure_epoch != kNoGate && g.structure_epoch() != structure_epoch)
+  if (addition_epoch != kNoGate && g.edge_addition_epoch() != addition_epoch)
     return false;
   if (full_epoch != kNoGate && g.epoch() != full_epoch) return false;
   for (const Witness& w : witnesses) {
@@ -105,16 +113,22 @@ std::vector<SocialStateCache::NodeId> SocialStateCache::path_cached(
     const graph::SocialGraph& g, NodeId i, NodeId j, std::size_t max_hops) {
   const std::uint64_t key = pack(i, j);
   Shard& shard = shards_[shard_of(key)];
-  const Revision sepoch = g.structure_epoch();
+  const Revision aepoch = g.edge_addition_epoch();
   bool stale = false;
   {
     std::lock_guard lock(shard.mutex);
     auto it = shard.paths.find(key);
     if (it != shard.paths.end()) {
-      if (it->second.structure_epoch == sepoch) {
+      const PathEntry& entry = it->second;
+      bool ok = entry.addition_epoch == aepoch;
+      for (std::size_t step = 0; ok && step < entry.node_srevs.size();
+           ++step) {
+        ok = g.structure_revision(entry.path[step]) == entry.node_srevs[step];
+      }
+      if (ok) {
         structure_hits_.fetch_add(1, std::memory_order_relaxed);
         obs_structure_hits_->add(1);
-        return it->second.path;
+        return entry.path;
       }
       stale = true;
     }
@@ -127,9 +141,20 @@ std::vector<SocialStateCache::NodeId> SocialStateCache::path_cached(
   obs_structure_misses_->add(1);
   auto found = g.shortest_path(i, j, max_hops);
   std::vector<NodeId> path = found ? std::move(*found) : std::vector<NodeId>{};
+  // Witness the structural state of every path node but the sink: each
+  // path edge bumps both its endpoints, so these revisions pin the path
+  // itself; the addition epoch pins "no shorter / lex-smaller competitor
+  // appeared anywhere".
+  std::vector<Revision> srevs;
+  if (!path.empty()) {
+    srevs.reserve(path.size() - 1);
+    for (std::size_t step = 0; step + 1 < path.size(); ++step) {
+      srevs.push_back(g.structure_revision(path[step]));
+    }
+  }
   {
     std::lock_guard lock(shard.mutex);
-    shard.paths[key] = PathEntry{path, sepoch};
+    shard.paths[key] = PathEntry{path, aepoch, std::move(srevs)};
   }
   return path;
 }
@@ -166,15 +191,19 @@ double SocialStateCache::compute_closeness(const ClosenessModel& model,
 
   std::vector<NodeId> path = path_cached(g, i, j, max_hops);
   if (path.size() < 2) {
-    // Unreachable within max_hops: purely structural, so the entry lives
-    // until any edge changes anywhere.
-    out.structure_epoch = g.structure_epoch();
+    // Unreachable within max_hops: removals and type changes can never
+    // make a pair reachable, so the entry lives until a brand-new
+    // adjacency appears anywhere.
+    out.addition_epoch = g.edge_addition_epoch();
     return 0.0;
   }
   if (path.size() - 1 > kMaxWitnesses) {
     out.full_epoch = g.epoch();
   } else {
-    out.structure_epoch = g.structure_epoch();
+    // Full revisions of the non-sink path nodes cover both the f(p, *)
+    // reads of Eq. 4 and any structural change touching a path edge; the
+    // addition gate covers shorter / lex-smaller paths appearing.
+    out.addition_epoch = g.edge_addition_epoch();
     out.witnesses.reserve(path.size() - 1);
     for (std::size_t step = 0; step + 1 < path.size(); ++step) {
       out.witnesses.push_back(Witness{path[step], false, g.revision(path[step])});
@@ -200,6 +229,11 @@ double SocialStateCache::closeness(const ClosenessModel& model,
         return it->second.value;
       }
       stale = true;
+      // About to be replaced with a fresh value — log it so any carried
+      // copy of the old value is re-derived (belt and braces: after a
+      // collect_dirty() sweep no reachable entry can be stale, but the
+      // tracking contract is "every erasure/replacement is logged").
+      if (tracking_) shard.dirty_closeness.push_back(key);
     }
   }
   if (stale) {
@@ -212,8 +246,27 @@ double SocialStateCache::closeness(const ClosenessModel& model,
   entry.value = compute_closeness(model, g, i, j, max_hops, entry.validity);
   entry.last_touch = generation_.load(std::memory_order_relaxed);
   const double value = entry.value;
+  // Index refs for the witness-targeted sweep, staged outside the lock so
+  // the critical section only publishes. Refs for a replaced entry's old
+  // witnesses go stale in place — collect_dirty() prunes any ref whose
+  // entry no longer witnesses the node.
+  std::vector<std::pair<NodeId, std::uint64_t>> new_refs;
+  if (tracking_) {
+    new_refs.reserve(entry.validity.witnesses.size());
+    for (const Witness& w : entry.validity.witnesses) {
+      new_refs.emplace_back(w.node, key);
+    }
+  }
   {
     std::lock_guard lock(shard.mutex);
+    if (tracking_) {
+      shard.witness_refs.insert(shard.witness_refs.end(), new_refs.begin(),
+                                new_refs.end());
+      if (entry.validity.addition_epoch != kNoGate ||
+          entry.validity.full_epoch != kNoGate) {
+        shard.gated_closeness.push_back(key);
+      }
+    }
     shard.closeness[key] = std::move(entry);
   }
   return value;
@@ -239,6 +292,7 @@ double SocialStateCache::similarity(const InterestProfiles& profiles, NodeId a,
         return it->second.value;
       }
       stale = true;
+      if (tracking_) shard.dirty_similarity.push_back(key);
     }
   }
   if (stale) {
@@ -254,6 +308,11 @@ double SocialStateCache::similarity(const InterestProfiles& profiles, NodeId a,
                                 : profiles.similarity(lo, hi);
   {
     std::lock_guard lock(shard.mutex);
+    if (tracking_) {
+      // One ref per endpoint: whichever profile moves finds the entry.
+      shard.sim_refs.emplace_back(lo, key);
+      shard.sim_refs.emplace_back(hi, key);
+    }
     shard.similarity[key] = SimilarityEntry{
         value, rev_lo, rev_hi,
         generation_.load(std::memory_order_relaxed)};
@@ -271,10 +330,15 @@ void SocialStateCache::invalidate_node(NodeId node) {
     Shard& shard = shards_[s];
     std::lock_guard lock(shard.mutex);
     erased += std::erase_if(shard.closeness, [&](const auto& kv) {
-      return key_mentions(kv.first) || kv.second.validity.mentions(node);
+      if (!key_mentions(kv.first) && !kv.second.validity.mentions(node))
+        return false;
+      if (tracking_) shard.dirty_closeness.push_back(kv.first);
+      return true;
     });
     erased += std::erase_if(shard.similarity, [&](const auto& kv) {
-      return key_mentions(kv.first);
+      if (!key_mentions(kv.first)) return false;
+      if (tracking_) shard.dirty_similarity.push_back(kv.first);
+      return true;
     });
     erased += std::erase_if(shard.common_sets, [&](const auto& kv) {
       return key_mentions(kv.first) ||
@@ -295,12 +359,229 @@ void SocialStateCache::invalidate_node(NodeId node) {
 
 void SocialStateCache::clear() {
   for (std::size_t s = 0; s < kShards; ++s) {
-    std::lock_guard lock(shards_[s].mutex);
-    shards_[s].closeness.clear();
-    shards_[s].similarity.clear();
-    shards_[s].common_sets.clear();
-    shards_[s].paths.clear();
+    Shard& shard = shards_[s];
+    std::lock_guard lock(shard.mutex);
+    if (tracking_) {
+      // Value-entry removals must hit the erase log even on a wholesale
+      // drop, else a consumer could keep carrying values whose later
+      // invalidation the revalidation sweep can no longer see. erase_if
+      // visits in hash order, which is fine: collect_dirty() sorts the
+      // drained log before anything order-sensitive consumes it.
+      std::erase_if(shard.closeness, [&](const auto& kv) {
+        shard.dirty_closeness.push_back(kv.first);
+        return true;
+      });
+      std::erase_if(shard.similarity, [&](const auto& kv) {
+        shard.dirty_similarity.push_back(kv.first);
+        return true;
+      });
+    } else {
+      shard.closeness.clear();
+      shard.similarity.clear();
+    }
+    shard.common_sets.clear();
+    shard.paths.clear();
+    shard.witness_refs.clear();
+    shard.sim_refs.clear();
+    shard.gated_closeness.clear();
   }
+}
+
+void SocialStateCache::compact_closeness_index(Shard& shard) {
+  // Refs go stale when entries are evicted, invalidated wholesale, or
+  // re-stored via a different branch, and a stale ref is only pruned when
+  // its node next changes. Rebuild from the live entries once the list
+  // clearly outgrows them (a live entry owns at most kMaxWitnesses refs,
+  // typically far fewer).
+  if (shard.witness_refs.size() <= 256 ||
+      shard.witness_refs.size() <= kMaxWitnesses * shard.closeness.size()) {
+    return;
+  }
+  // Flatten the live keys and sort before rebuilding so the rebuilt index
+  // is a pure function of the shard's contents, not of hash order.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(shard.closeness.size());
+  for (const auto& kv : shard.closeness) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  shard.witness_refs.clear();
+  shard.gated_closeness.clear();
+  for (const std::uint64_t key : keys) {
+    const Validity& v = shard.closeness.find(key)->second.validity;
+    for (const Witness& w : v.witnesses) {
+      shard.witness_refs.emplace_back(w.node, key);
+    }
+    if (v.addition_epoch != kNoGate || v.full_epoch != kNoGate) {
+      shard.gated_closeness.push_back(key);
+    }
+  }
+}
+
+void SocialStateCache::compact_similarity_index(Shard& shard) {
+  // Re-stores append a fresh endpoint pair each time, so stale refs
+  // accumulate; rebuild once they dominate the live ones (each live entry
+  // owns exactly two).
+  if (shard.sim_refs.size() <= 64 ||
+      shard.sim_refs.size() <= 6 * shard.similarity.size()) {
+    return;
+  }
+  std::vector<std::uint64_t> keys;
+  keys.reserve(shard.similarity.size());
+  for (const auto& kv : shard.similarity) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  shard.sim_refs.clear();
+  for (const std::uint64_t key : keys) {
+    shard.sim_refs.emplace_back(key_first(key), key);
+    shard.sim_refs.emplace_back(key_second(key), key);
+  }
+}
+
+SocialStateCache::DirtyKeys SocialStateCache::collect_dirty(
+    const graph::SocialGraph& g, const InterestProfiles& profiles) {
+  DirtyKeys out;
+  if (!tracking_) return out;
+  // Sweep gates: while g.epoch() holds, no graph revision moved anywhere,
+  // so every surviving closeness entry that was valid at the previous
+  // collect is still valid and the sweep may be skipped exactly (same
+  // argument for profiles.epoch() and similarity entries). The erase
+  // logs are drained unconditionally — eviction, invalidate_node and
+  // clear remove entries without any epoch movement.
+  const bool sweep_closeness = g.epoch() != last_graph_epoch_;
+  const bool sweep_similarity = profiles.epoch() != last_profile_epoch_;
+  last_graph_epoch_ = g.epoch();
+  last_profile_epoch_ = profiles.epoch();
+  // Changed-node bitmaps: diff every per-node revision against the
+  // snapshot of the previous collect. An O(n) integer scan, but it makes
+  // the per-shard work below proportional to the refs of *changed* nodes
+  // rather than to the total entry count.
+  if (sweep_closeness) {
+    const std::size_t n = g.size();
+    if (last_node_revs_.size() < n) last_node_revs_.resize(n, kNoGate);
+    if (graph_changed_.size() < n) graph_changed_.resize(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      const Revision rev = g.revision(static_cast<NodeId>(v));
+      graph_changed_[v] = last_node_revs_[v] != rev ? 1 : 0;
+      last_node_revs_[v] = rev;
+    }
+  }
+  if (sweep_similarity) {
+    const std::size_t n = profiles.node_count();
+    if (last_profile_revs_.size() < n) last_profile_revs_.resize(n, kNoGate);
+    if (profile_changed_.size() < n) profile_changed_.resize(n, 0);
+    for (std::size_t v = 0; v < n; ++v) {
+      const Revision rev = profiles.revision(static_cast<NodeId>(v));
+      profile_changed_[v] = last_profile_revs_[v] != rev ? 1 : 0;
+      last_profile_revs_[v] = rev;
+    }
+  }
+  std::uint64_t swept = 0;
+  // Swept keys are staged into a reused buffer with pre-reserved capacity
+  // so the erase walks stay allocation-free under the shard lock, then
+  // bulk-appended to `out`.
+  std::vector<std::uint64_t> staged;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard lock(shard.mutex);
+    out.closeness.insert(out.closeness.end(), shard.dirty_closeness.begin(),
+                         shard.dirty_closeness.end());
+    shard.dirty_closeness.clear();
+    out.similarity.insert(out.similarity.end(),
+                          shard.dirty_similarity.begin(),
+                          shard.dirty_similarity.end());
+    shard.dirty_similarity.clear();
+    const std::size_t cap = shard.gated_closeness.size() +
+                            shard.witness_refs.size() +
+                            shard.sim_refs.size();
+    if (staged.size() < cap) staged.resize(cap);
+    if (sweep_closeness) {
+      // Epoch-gated entries first: a full-epoch gate breaks on any change
+      // (and the epoch moved, or we would not be here); an addition gate
+      // only when the addition epoch moved — valid() distinguishes them.
+      // A key whose entry lost its gates was re-stored via a witness-only
+      // branch and is covered by the witness refs below.
+      std::size_t n_staged = 0;
+      std::size_t keep = 0;
+      for (const std::uint64_t key : shard.gated_closeness) {
+        auto it = shard.closeness.find(key);
+        if (it == shard.closeness.end()) continue;
+        const Validity& v = it->second.validity;
+        if (v.addition_epoch == kNoGate && v.full_epoch == kNoGate) continue;
+        if (v.valid(g)) {
+          shard.gated_closeness[keep++] = key;
+          continue;
+        }
+        staged[n_staged++] = key;
+        shard.closeness.erase(it);
+        ++swept;
+      }
+      shard.gated_closeness.resize(keep);
+      // Witness refs: only refs whose node actually changed cost a map
+      // lookup; a surviving entry keeps its ref, a dead or re-branched
+      // one drops it.
+      std::size_t wkeep = 0;
+      for (const auto& ref : shard.witness_refs) {
+        if (!graph_changed_[ref.first]) {
+          shard.witness_refs[wkeep++] = ref;
+          continue;
+        }
+        auto it = shard.closeness.find(ref.second);
+        if (it == shard.closeness.end()) continue;
+        const Validity& v = it->second.validity;
+        if (!v.mentions(ref.first)) continue;
+        if (v.valid(g)) {
+          shard.witness_refs[wkeep++] = ref;
+          continue;
+        }
+        staged[n_staged++] = ref.second;
+        shard.closeness.erase(it);
+        ++swept;
+      }
+      shard.witness_refs.resize(wkeep);
+      out.closeness.insert(out.closeness.end(), staged.begin(),
+                           staged.begin() + static_cast<std::ptrdiff_t>(
+                                                n_staged));
+      compact_closeness_index(shard);
+    }
+    if (sweep_similarity) {
+      std::size_t n_staged = 0;
+      std::size_t skeep = 0;
+      for (const auto& ref : shard.sim_refs) {
+        if (!profile_changed_[ref.first]) {
+          shard.sim_refs[skeep++] = ref;
+          continue;
+        }
+        auto it = shard.similarity.find(ref.second);
+        if (it == shard.similarity.end()) continue;
+        if (profiles.revision(key_first(ref.second)) == it->second.rev_lo &&
+            profiles.revision(key_second(ref.second)) == it->second.rev_hi) {
+          shard.sim_refs[skeep++] = ref;
+          continue;
+        }
+        staged[n_staged++] = ref.second;
+        shard.similarity.erase(it);
+        ++swept;
+      }
+      shard.sim_refs.resize(skeep);
+      out.similarity.insert(out.similarity.end(), staged.begin(),
+                            staged.begin() + static_cast<std::ptrdiff_t>(
+                                                 n_staged));
+      compact_similarity_index(shard);
+    }
+  }
+  if (swept > 0) {
+    invalidations_.fetch_add(swept, std::memory_order_relaxed);
+    obs_invalidations_->add(swept);
+  }
+  // Logs and sweep appends arrive in shard/hash order; sorting here pins
+  // the order every downstream consumer sees, and duplicates (an entry
+  // replaced twice, or logged then re-erased) collapse to one key.
+  std::sort(out.closeness.begin(), out.closeness.end());
+  out.closeness.erase(std::unique(out.closeness.begin(), out.closeness.end()),
+                      out.closeness.end());
+  std::sort(out.similarity.begin(), out.similarity.end());
+  out.similarity.erase(
+      std::unique(out.similarity.begin(), out.similarity.end()),
+      out.similarity.end());
+  return out;
 }
 
 std::size_t SocialStateCache::size() const {

@@ -16,11 +16,17 @@
 // Two layers of entries:
 //
 //   * structure entries — common-friend sets (witnessed by the structure
-//     revisions of both endpoints) and BFS shortest paths (valid while the
-//     graph's structure epoch holds, since a new edge anywhere can shorten
-//     a path). These depend only on the relationship topology, which in
-//     the Section 5.1 workload changes only at setup and on whitewashing,
-//     so the expensive BFS/set-intersection work is almost never redone.
+//     revisions of both endpoints) and BFS shortest paths. A cached path
+//     is the lexicographically smallest shortest path (what ascending-
+//     adjacency FIFO BFS returns — a graph-intrinsic value, not an
+//     algorithm accident), so it is witnessed precisely: it can only
+//     change if a brand-new adjacency appears somewhere (the graph's
+//     edge-addition epoch — new edges can shorten distances or create
+//     lex-smaller competitors) or if the structural state of a node ON
+//     the path changes (edge removal / type change touching the path).
+//     Removals and type churn elsewhere in the graph leave every cached
+//     path exactly valid — the expensive hop-capped BFS is redone only
+//     when its answer could actually differ.
 //
 //   * value entries — full Omega_c(i,j) and Omega_s(a,b). Each carries the
 //     exact witness set of nodes whose state the computation read, with
@@ -33,11 +39,15 @@
 //                              adjacent_closeness(i,k) and (k,j), and the
 //                              common set itself only changes when the
 //                              neighbour list of i or j does.
-//       bottleneck          -> structure-epoch gate (is this still THE
-//                              shortest path?) plus (p, full) for every
-//                              path node except the sink, whose outgoing
-//                              interactions Eq. 4 never reads.
-//       unreachable         -> structure-epoch gate alone.
+//       bottleneck          -> edge-addition-epoch gate (no new edge =>
+//                              this is still THE lex-min shortest path,
+//                              unless the path itself was touched) plus
+//                              (p, full) for every path node except the
+//                              sink, whose outgoing interactions Eq. 4
+//                              never reads (and whose full revision also
+//                              covers structural changes to path edges).
+//       unreachable         -> edge-addition-epoch gate alone (removals
+//                              never make a pair reachable).
 //       similarity          -> (a, profile), (b, profile): every variant
 //                              is a pure symmetric function of the two
 //                              profiles, so entries use a canonical
@@ -66,6 +76,29 @@
 // `social_cache.hits` / `.misses` / `.invalidations` /
 // `.structure_hits` / `.structure_misses` / `.evictions`
 // (see docs/OBSERVABILITY.md).
+//
+// Dirty tracking (opt-in, DESIGN.md §14): with enable_dirty_tracking()
+// the cache answers the plugin's "which value keys went dirty since I
+// last asked?" question so the dirty-pair scheduler never re-derives
+// witness logic. Two mechanisms compose into that answer:
+//   * erase logs — every removal of a closeness/similarity entry
+//     (eviction sweep, invalidate_node, clear, stale replacement at
+//     lookup) appends the key to a per-shard log, so a carried value can
+//     never go silently stale just because its cache entry vanished
+//     before the state changed;
+//   * witness-indexed revalidation sweep — collect_dirty() first diffs
+//     the per-node revision counters against its previous snapshot (an
+//     O(n) scan of plain integers, skipped entirely while the global
+//     epoch holds still), then revalidates only the entries that
+//     actually witness a changed node, via per-shard (witness node, key)
+//     ref lists appended at store time. Epoch-gated entries (bottleneck /
+//     unreachable / witness-overflow) live on a separate small per-shard
+//     key list walked each sweep. Ref lists carry stale refs (erased or
+//     re-branched entries) harmlessly — a ref is dropped when its key no
+//     longer resolves or no longer witnesses the node — and are rebuilt
+//     from the live entries when staleness outgrows them. The sweep is
+//     therefore O(nodes + refs-of-changed-nodes), not O(entries), and a
+//     no-churn interval costs O(1).
 
 #include <atomic>
 #include <cstdint>
@@ -124,8 +157,47 @@ class SocialStateCache {
   /// change (e.g. SocialGraph::clear_node) bumps it.
   void invalidate_node(NodeId node);
 
-  /// Drops everything (plugin reset).
+  /// Drops everything (plugin reset). With dirty tracking enabled every
+  /// dropped value key is logged, so a consumer that carried values
+  /// derived from the dropped entries re-derives them next interval.
   void clear();
+
+  /// Value-layer keys invalidated since the previous collect_dirty()
+  /// call, sorted ascending and deduplicated. Closeness keys are
+  /// directional pack(i, j); similarity keys are canonical
+  /// pack(min, max) — both sides of a similarity key are affected.
+  struct DirtyKeys {
+    std::vector<std::uint64_t> closeness;
+    std::vector<std::uint64_t> similarity;
+  };
+
+  /// Opts this instance into dirty tracking. Must be called before the
+  /// first lookup (the plugin does so at construction); without it the
+  /// erase logs stay empty and collect_dirty() returns nothing.
+  void enable_dirty_tracking() noexcept { tracking_ = true; }
+  bool dirty_tracking() const noexcept { return tracking_; }
+
+  /// Drains the per-shard erase logs and — only when the corresponding
+  /// epoch moved since the last call — sweeps the surviving value
+  /// entries, erasing and reporting the ones whose witnesses no longer
+  /// hold. Afterwards every remaining value entry is valid against the
+  /// current graph/profiles, so a key absent from the result is
+  /// guaranteed to re-derive to its carried value. Call from the
+  /// coordinator between parallel regions (it takes each shard lock).
+  DirtyKeys collect_dirty(const graph::SocialGraph& g,
+                          const InterestProfiles& profiles);
+
+  /// Packed directional pair key — public so the plugin's dirty-pair
+  /// worklist speaks the same key language as collect_dirty().
+  static std::uint64_t pack(NodeId a, NodeId b) noexcept {
+    return (static_cast<std::uint64_t>(a) << 32U) | b;
+  }
+  static NodeId key_first(std::uint64_t key) noexcept {
+    return static_cast<NodeId>(key >> 32U);
+  }
+  static NodeId key_second(std::uint64_t key) noexcept {
+    return static_cast<NodeId>(key & 0xFFFFFFFFU);
+  }
 
   /// Value entries across shards (closeness + similarity). Diagnostics
   /// and tests only; takes every shard lock.
@@ -173,8 +245,8 @@ class SocialStateCache {
   /// witness list. Valid iff every set gate equals the graph's current
   /// epoch and every witness matches its node's current revision.
   struct Validity {
-    Revision structure_epoch = kNoGate;  ///< gate on g.structure_epoch()
-    Revision full_epoch = kNoGate;       ///< gate on g.epoch()
+    Revision addition_epoch = kNoGate;  ///< gate on g.edge_addition_epoch()
+    Revision full_epoch = kNoGate;      ///< gate on g.epoch()
     std::vector<Witness> witnesses;
 
     bool valid(const graph::SocialGraph& g) const noexcept;
@@ -204,26 +276,40 @@ class SocialStateCache {
 
   /// Memoised shortest path, directional key (a path i->j is not a path
   /// j->i). An empty node list records "unreachable within max_hops" —
-  /// negative results are exactly as expensive to rediscover.
+  /// negative results are exactly as expensive to rediscover. Valid while
+  /// the edge-addition epoch holds and every non-sink path node's
+  /// structural state is untouched (see the structure-entry notes above);
+  /// an unreachable record needs only the addition gate.
   struct PathEntry {
     std::vector<NodeId> path;
-    Revision structure_epoch = 0;
+    Revision addition_epoch = 0;
+    /// structure_revision of path[0..len-2] at compute time, same order.
+    std::vector<Revision> node_srevs;
   };
 
   /// One stripe: its own mutex plus the slices of all four maps whose
   /// keys hash here. Striping trades memory for lock granularity, exactly
-  /// as the retired per-interval memo did.
+  /// as the retired per-interval memo did. The dirty_* vectors are the
+  /// erase logs of the tracking contract above, guarded by the same
+  /// mutex and drained (then sorted) by collect_dirty().
   struct Shard {
     mutable std::mutex mutex;
     std::unordered_map<std::uint64_t, ClosenessEntry> closeness;
     std::unordered_map<std::uint64_t, SimilarityEntry> similarity;
     std::unordered_map<std::uint64_t, CommonEntry> common_sets;
     std::unordered_map<std::uint64_t, PathEntry> paths;
+    std::vector<std::uint64_t> dirty_closeness;
+    std::vector<std::uint64_t> dirty_similarity;
+    // Witness index of the tracking contract (kept only while tracking_):
+    // one (witness node, key) ref per witness of each stored closeness
+    // entry, one (endpoint, key) ref per side of each similarity entry,
+    // and the keys of epoch-gated closeness entries. Append-only between
+    // sweeps; collect_dirty() prunes refs it visits and compacts
+    // wholesale when stale refs dominate.
+    std::vector<std::pair<NodeId, std::uint64_t>> witness_refs;
+    std::vector<std::pair<NodeId, std::uint64_t>> sim_refs;
+    std::vector<std::uint64_t> gated_closeness;
   };
-
-  static std::uint64_t pack(NodeId a, NodeId b) noexcept {
-    return (static_cast<std::uint64_t>(a) << 32U) | b;
-  }
 
   /// Fibonacci-hash mix before the mask so consecutive rater ids — the
   /// common case, the pair list being rater-sorted — spread across shards.
@@ -247,7 +333,32 @@ class SocialStateCache {
   std::vector<NodeId> path_cached(const graph::SocialGraph& g, NodeId i,
                                   NodeId j, std::size_t max_hops);
 
+  /// Rebuild a shard's closeness witness/gate index (resp. similarity
+  /// endpoint index) from its live entries once stale refs dominate.
+  /// Caller holds the shard lock.
+  static void compact_closeness_index(Shard& shard);
+  static void compact_similarity_index(Shard& shard);
+
   std::unique_ptr<Shard[]> shards_;
+
+  /// Dirty tracking opted in? Set once, before any concurrent use (the
+  /// plugin enables it at construction), so a plain bool suffices.
+  bool tracking_ = false;
+
+  /// Epoch watermarks of the previous collect_dirty() call — the "since
+  /// epoch E" of the dirty query. kNoGate sentinels force a (trivially
+  /// cheap, maps still empty) sweep on the first collect. Only the
+  /// coordinator touches these, between parallel regions.
+  Revision last_graph_epoch_ = kNoGate;
+  Revision last_profile_epoch_ = kNoGate;
+
+  /// Per-node revision snapshots of the previous collect, plus the
+  /// changed-node bitmaps diffed from them at the top of each sweep
+  /// (reused buffers). Coordinator-only, like the watermarks above.
+  std::vector<Revision> last_node_revs_;
+  std::vector<Revision> last_profile_revs_;
+  std::vector<std::uint8_t> graph_changed_;
+  std::vector<std::uint8_t> profile_changed_;
 
   /// Update-interval counter driving the eviction sweep; bumped by
   /// begin_interval(). Relaxed: begin_interval runs on the coordinator

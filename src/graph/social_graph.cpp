@@ -71,6 +71,7 @@ bool SocialGraph::add_relationship(NodeId a, NodeId b, Relationship r) {
   check_node(b);
   if (a == b) return false;
   auto mask = static_cast<std::uint8_t>(1U << static_cast<unsigned>(r));
+  bool new_edge = false;
   auto insert_half = [&](NodeId from, NodeId to) {
     auto& edges = adjacency_[from];
     auto it = std::lower_bound(
@@ -84,11 +85,15 @@ bool SocialGraph::add_relationship(NodeId a, NodeId b, Relationship r) {
     edges.insert(it, EdgeRecord{to, mask});
     auto& ids = neighbor_ids_[from];
     ids.insert(std::lower_bound(ids.begin(), ids.end(), to), to);
+    new_edge = true;
     return true;
   };
   bool added = insert_half(a, b);
   insert_half(b, a);
   if (added) bump_structure(a, b);
+  // A brand-new adjacency (as opposed to one more type on an existing
+  // edge) is the only mutation that can create or shorten paths.
+  if (new_edge) ++addition_epoch_;
   return added;
 }
 
@@ -138,6 +143,13 @@ std::vector<Relationship> SocialGraph::relationships(NodeId a,
       result.push_back(static_cast<Relationship>(i));
   }
   return result;
+}
+
+std::uint8_t SocialGraph::relationship_mask(NodeId a,
+                                            NodeId b) const noexcept {
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return 0;
+  const EdgeRecord* e = find_edge(a, b);
+  return e ? e->relationship_mask : 0;
 }
 
 std::span<const NodeId> SocialGraph::neighbors(NodeId a) const noexcept {
@@ -197,26 +209,61 @@ std::vector<NodeId> SocialGraph::common_friends(NodeId a, NodeId b) const {
   return result;
 }
 
+namespace {
+
+/// Reusable BFS workspace. A hop-capped BFS on a large graph spends a
+/// surprising share of its time on setup — an O(n) visited/parent fill
+/// plus std::queue's deque allocations — so the traversals below reuse a
+/// per-thread scratch: visits are stamp-gated (no clearing between
+/// calls) and the frontier is two flat level vectors. thread_local keeps
+/// concurrent BFS calls (the parallel update interval) fully disjoint,
+/// and the scratch never leaks into results: every BFS is still a pure
+/// function of (graph, a, b, max_hops).
+struct BfsScratch {
+  std::vector<NodeId> parent;
+  std::vector<std::uint64_t> stamp;
+  std::uint64_t epoch = 0;
+  std::vector<NodeId> current;
+  std::vector<NodeId> next;
+};
+
+BfsScratch& bfs_scratch(std::size_t n) {
+  thread_local BfsScratch scratch;
+  if (scratch.stamp.size() < n) {
+    scratch.parent.resize(n);
+    scratch.stamp.resize(n, 0);
+  }
+  ++scratch.epoch;
+  scratch.current.clear();
+  scratch.next.clear();
+  return scratch;
+}
+
+}  // namespace
+
 std::optional<std::size_t> SocialGraph::distance(
     NodeId a, NodeId b, std::size_t max_hops) const {
   check_node(a);
   check_node(b);
   if (a == b) return 0;
-  // Plain BFS with a hop cap; the paper only ever needs distances <= 4.
-  std::vector<std::uint8_t> visited(adjacency_.size(), 0);
-  std::queue<std::pair<NodeId, std::size_t>> frontier;
-  frontier.push({a, 0});
-  visited[a] = 1;
-  while (!frontier.empty()) {
-    auto [node, hops] = frontier.front();
-    frontier.pop();
-    if (hops >= max_hops) continue;
-    for (NodeId next : neighbor_ids_[node]) {
-      if (visited[next]) continue;
-      if (next == b) return hops + 1;
-      visited[next] = 1;
-      frontier.push({next, hops + 1});
+  // Level-synchronous BFS with a hop cap; the paper only ever needs
+  // distances <= 4. Levels are expanded in the same FIFO order the
+  // classic queue formulation uses, so the hop count found first is
+  // identical.
+  BfsScratch& s = bfs_scratch(adjacency_.size());
+  s.stamp[a] = s.epoch;
+  s.current.push_back(a);
+  for (std::size_t hops = 0; hops < max_hops && !s.current.empty(); ++hops) {
+    s.next.clear();
+    for (NodeId node : s.current) {
+      for (NodeId next : neighbor_ids_[node]) {
+        if (s.stamp[next] == s.epoch) continue;
+        if (next == b) return hops + 1;
+        s.stamp[next] = s.epoch;
+        s.next.push_back(next);
+      }
     }
+    std::swap(s.current, s.next);
   }
   return std::nullopt;
 }
@@ -226,27 +273,33 @@ std::optional<std::vector<NodeId>> SocialGraph::shortest_path(
   check_node(a);
   check_node(b);
   if (a == b) return std::vector<NodeId>{a};
-  constexpr NodeId kUnset = static_cast<NodeId>(-1);
-  std::vector<NodeId> parent(adjacency_.size(), kUnset);
-  std::queue<std::pair<NodeId, std::size_t>> frontier;
-  frontier.push({a, 0});
-  parent[a] = a;
-  while (!frontier.empty()) {
-    auto [node, hops] = frontier.front();
-    frontier.pop();
-    if (hops >= max_hops) continue;
-    for (NodeId next : neighbor_ids_[node]) {
-      if (parent[next] != kUnset) continue;
-      parent[next] = node;
-      if (next == b) {
-        std::vector<NodeId> path{b};
-        for (NodeId cur = b; cur != a; cur = parent[cur])
-          path.push_back(parent[cur]);
-        std::reverse(path.begin(), path.end());
-        return path;
+  // Same level-synchronous traversal as distance(); the parent links
+  // record the first discovery, so the reconstructed path is the exact
+  // path the queue-based BFS returned (discovery order is unchanged —
+  // bottleneck closeness depends on the specific path, not just its
+  // length, making that equivalence part of the bit-identity contract).
+  BfsScratch& s = bfs_scratch(adjacency_.size());
+  s.stamp[a] = s.epoch;
+  s.parent[a] = a;
+  s.current.push_back(a);
+  for (std::size_t hops = 0; hops < max_hops && !s.current.empty(); ++hops) {
+    s.next.clear();
+    for (NodeId node : s.current) {
+      for (NodeId next : neighbor_ids_[node]) {
+        if (s.stamp[next] == s.epoch) continue;
+        s.stamp[next] = s.epoch;
+        s.parent[next] = node;
+        if (next == b) {
+          std::vector<NodeId> path{b};
+          for (NodeId cur = b; cur != a; cur = s.parent[cur])
+            path.push_back(s.parent[cur]);
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        s.next.push_back(next);
       }
-      frontier.push({next, hops + 1});
     }
+    std::swap(s.current, s.next);
   }
   return std::nullopt;
 }

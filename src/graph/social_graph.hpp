@@ -75,6 +75,12 @@ class SocialGraph {
   /// The relationship types on edge (a,b), unspecified order.
   std::vector<Relationship> relationships(NodeId a, NodeId b) const;
 
+  /// The same type set as a packed bitmask — bit i set iff Relationship(i)
+  /// is present; 0 when not adjacent. Allocation-free alternative to
+  /// relationships() for hot closeness evaluation (the mask has only
+  /// 2^kRelationshipCount states, so derived quantities are tabulable).
+  std::uint8_t relationship_mask(NodeId a, NodeId b) const noexcept;
+
   /// Neighbour ids of `a` (ascending order).
   std::span<const NodeId> neighbors(NodeId a) const noexcept;
 
@@ -139,6 +145,15 @@ class SocialGraph {
   /// shortest path in the graph is unchanged.
   Revision structure_epoch() const noexcept { return structure_epoch_; }
 
+  /// Edge-addition epoch: bumps only when a brand-new adjacency appears
+  /// anywhere (the first relationship between a previously non-adjacent
+  /// pair). Removals and type changes never bump it. While it holds
+  /// still, no distance anywhere has shrunk and no new path exists, so a
+  /// previously computed shortest path can only have been affected by
+  /// changes touching its own nodes — the precise gate the path cache
+  /// pairs with per-node structure witnesses.
+  Revision edge_addition_epoch() const noexcept { return addition_epoch_; }
+
  private:
   struct EdgeRecord {
     NodeId to;
@@ -164,6 +179,7 @@ class SocialGraph {
   std::vector<Revision> structure_revisions_;
   Revision epoch_ = 0;
   Revision structure_epoch_ = 0;
+  Revision addition_epoch_ = 0;
 };
 
 }  // namespace st::graph

@@ -16,7 +16,16 @@
 //      seeds, and thread counts;
 //   3. a whitewashing regression — forget_node must drop every cached
 //      entry mentioning the discarded identity, and a warm plugin driven
-//      across a whitewash event must stay bit-identical to a cold one.
+//      across a whitewash event must stay bit-identical to a cold one;
+//   4. a full-vs-dirty differential gate (DESIGN.md §14) — the dirty-pair
+//      scheduler (UpdateSchedule::kDirtyPairs) run side by side with the
+//      full-walk oracle over 4 collusion models × 3 seeds × threads
+//      {1, 2, 4} × ≥20 intervals must produce bit-identical adjusted
+//      ratings, flagged sets, AdjustmentReport fields and reputations at
+//      EVERY interval, plus a direct-driven sparse-churn scenario where
+//      most pairs genuinely carry forward (the simulator bumps every
+//      active rater's revision per rating, so it exercises the all-dirty
+//      extreme; the direct scenario exercises the carry path).
 
 #include <gtest/gtest.h>
 
@@ -663,6 +672,296 @@ TEST(IncrementalWhitewashing, ForgetNodeInvalidatesStaleEntries) {
   // must match a from-scratch recompute, not the pre-whitewash state.
   run_interval(make_interval(3));
   run_interval(make_interval(4));
+}
+
+// --- 4. full-vs-dirty differential gate (DESIGN.md §14) ----------------------
+
+/// One update interval's complete observable output plus the dirty
+/// scheduler's self-report — enough to bit-compare a kDirtyPairs run
+/// against the kFullWalk oracle at every interval, not just at the end.
+struct IntervalRecord {
+  std::vector<Rating> adjusted;
+  core::AdjustmentReport report;
+  std::vector<double> reputations;
+  SocialTrustPlugin::DirtyStats dirty;
+};
+
+/// Forwarding wrapper that snapshots the plugin's outputs after every
+/// update() so a simulator run yields a per-interval trace instead of
+/// only its final state.
+class RecordingSystem final : public reputation::ReputationSystem {
+ public:
+  RecordingSystem(std::unique_ptr<SocialTrustPlugin> plugin,
+                  std::vector<IntervalRecord>& trace)
+      : plugin_(std::move(plugin)), trace_(trace) {}
+  std::string_view name() const noexcept override { return plugin_->name(); }
+  std::size_t size() const noexcept override { return plugin_->size(); }
+  void update(std::span<const Rating> cycle_ratings) override {
+    plugin_->update(cycle_ratings);
+    IntervalRecord rec;
+    auto adjusted = plugin_->last_adjusted();
+    rec.adjusted.assign(adjusted.begin(), adjusted.end());
+    rec.report = plugin_->last_report();
+    auto reps = plugin_->reputations();
+    rec.reputations.assign(reps.begin(), reps.end());
+    rec.dirty = plugin_->last_dirty_stats();
+    trace_.push_back(std::move(rec));
+  }
+  double reputation(reputation::NodeId node) const override {
+    return plugin_->reputation(node);
+  }
+  std::span<const double> reputations() const noexcept override {
+    return plugin_->reputations();
+  }
+  void reset() override { plugin_->reset(); }
+  void forget_node(reputation::NodeId node) override {
+    plugin_->forget_node(node);
+  }
+
+ private:
+  std::unique_ptr<SocialTrustPlugin> plugin_;
+  std::vector<IntervalRecord>& trace_;
+};
+
+void expect_record_identical(const IntervalRecord& oracle,
+                             const IntervalRecord& dirty,
+                             const std::string& label) {
+  SCOPED_TRACE(label);
+
+  ASSERT_EQ(oracle.adjusted.size(), dirty.adjusted.size());
+  for (std::size_t i = 0; i < oracle.adjusted.size(); ++i) {
+    EXPECT_EQ(oracle.adjusted[i].rater, dirty.adjusted[i].rater) << i;
+    EXPECT_EQ(oracle.adjusted[i].ratee, dirty.adjusted[i].ratee) << i;
+    EXPECT_TRUE(
+        bits_equal(oracle.adjusted[i].value, dirty.adjusted[i].value))
+        << "rating " << i;
+  }
+
+  const core::AdjustmentReport& a = oracle.report;
+  const core::AdjustmentReport& b = dirty.report;
+  EXPECT_EQ(a.pairs_total, b.pairs_total);
+  EXPECT_EQ(a.pairs_flagged, b.pairs_flagged);
+  EXPECT_EQ(a.ratings_adjusted, b.ratings_adjusted);
+  EXPECT_EQ(a.b1, b.b1);
+  EXPECT_EQ(a.b2, b.b2);
+  EXPECT_EQ(a.b3, b.b3);
+  EXPECT_EQ(a.b4, b.b4);
+  EXPECT_TRUE(bits_equal(a.mean_weight, b.mean_weight)) << "mean_weight";
+  ASSERT_EQ(a.flagged.size(), b.flagged.size());
+  for (std::size_t i = 0; i < a.flagged.size(); ++i) {
+    EXPECT_EQ(a.flagged[i].rater, b.flagged[i].rater) << i;
+    EXPECT_EQ(a.flagged[i].ratee, b.flagged[i].ratee) << i;
+    EXPECT_EQ(a.flagged[i].behavior, b.flagged[i].behavior) << i;
+    EXPECT_TRUE(bits_equal(a.flagged[i].weight, b.flagged[i].weight)) << i;
+  }
+
+  ASSERT_EQ(oracle.reputations.size(), dirty.reputations.size());
+  for (std::size_t v = 0; v < oracle.reputations.size(); ++v) {
+    EXPECT_TRUE(bits_equal(oracle.reputations[v], dirty.reputations[v]))
+        << "node " << v;
+  }
+}
+
+/// Scaled-down network run long enough for ≥20 update intervals.
+sim::SimConfig differential_config() {
+  sim::SimConfig cfg;
+  cfg.node_count = 64;
+  cfg.pretrusted_count = 5;
+  cfg.colluder_count = 14;
+  cfg.query_cycles_per_cycle = 6;
+  cfg.simulation_cycles = 20;
+  return cfg;
+}
+
+std::vector<IntervalRecord> run_traced(const std::string& model,
+                                       std::uint64_t seed,
+                                       std::size_t threads,
+                                       core::UpdateSchedule schedule) {
+  core::SocialTrustConfig cfg;
+  cfg.threads = threads;
+  cfg.schedule = schedule;
+  std::vector<IntervalRecord> trace;
+  auto factory = [cfg, &trace](const graph::SocialGraph& graph,
+                               const InterestProfiles& profiles,
+                               const std::vector<sim::NodeId>& pretrusted,
+                               std::size_t n)
+      -> std::unique_ptr<reputation::ReputationSystem> {
+    auto inner = std::make_unique<reputation::PaperEigenTrust>(
+        n, pretrusted, reputation::PaperEigenTrustConfig{});
+    auto plugin = std::make_unique<SocialTrustPlugin>(std::move(inner), graph,
+                                                      profiles, cfg);
+    return std::make_unique<RecordingSystem>(std::move(plugin), trace);
+  };
+  sim::Simulator simulator(differential_config(), factory,
+                           make_strategy(model), seed);
+  simulator.run();
+  return trace;
+}
+
+/// Simulator-driven differential: dirty scheduler vs full-walk oracle,
+/// bit-compared at EVERY interval across collusion models, seeds, and
+/// thread counts. The simulator records an interaction for every rating,
+/// so every active rater's revision bumps every interval and the worklist
+/// covers essentially all active pairs — this gate exercises the
+/// all-dirty extreme (collect, sweep, recompute, writeback); the
+/// sparse-churn carry path is pinned by the direct-drive test below and
+/// by dirty_pair_property_test.cpp.
+class FullVsDirtyEquivalence : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(FullVsDirtyEquivalence, BitIdenticalEveryIntervalAcrossThreads) {
+  const std::string model = GetParam();
+  for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    const auto oracle =
+        run_traced(model, seed, 1, core::UpdateSchedule::kFullWalk);
+    ASSERT_GE(oracle.size(), 20U);
+    for (std::size_t threads : {1UL, 2UL, 4UL}) {
+      const auto dirty =
+          run_traced(model, seed, threads, core::UpdateSchedule::kDirtyPairs);
+      ASSERT_EQ(oracle.size(), dirty.size());
+      for (std::size_t t = 0; t < oracle.size(); ++t) {
+        expect_record_identical(
+            oracle[t], dirty[t],
+            model + " seed=" + std::to_string(seed) +
+                " threads=" + std::to_string(threads) +
+                " interval=" + std::to_string(t));
+        // The oracle recomputes every active pair and carries none.
+        EXPECT_EQ(oracle[t].dirty.pairs_carried, 0U);
+        EXPECT_EQ(oracle[t].dirty.pairs_dirty, oracle[t].report.pairs_total);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CollusionModels, FullVsDirtyEquivalence,
+                         ::testing::Values("none", "PCM", "MCM", "MMM"));
+
+/// Direct-drive sparse-churn differential: a fixed pool of rating pairs
+/// re-rates every interval over a mostly-stable social substrate, so most
+/// pair coefficients are witness-clean across intervals and must be
+/// served from carried state — the path the simulator gate cannot reach.
+/// A full-walk plugin over the same shared state is the per-interval
+/// oracle; a mid-sequence whitewash checks carried state dies with the
+/// identity.
+TEST(FullVsDirtyDirect, SparseChurnCarriesPairsBitIdentically) {
+  constexpr std::size_t kNodes = 64;
+  stats::Rng rng(977);
+  SocialGraph g = graph::watts_strogatz(kNodes, 6, 0.15, rng);
+  InterestProfiles profiles(kNodes, 16);
+  for (graph::NodeId n = 0; n < kNodes; ++n) {
+    const reputation::InterestId ints[] = {
+        static_cast<reputation::InterestId>(n % 16),
+        static_cast<reputation::InterestId>((n + 3) % 16),
+        static_cast<reputation::InterestId>((n + 9) % 16)};
+    profiles.set_interests(n, ints);
+  }
+  // Seed interactions and requests once so closeness/similarity are
+  // non-trivial before the rating stream starts.
+  for (graph::NodeId n = 0; n < kNodes; ++n) {
+    for (graph::NodeId nb : g.neighbors(n)) {
+      g.record_interaction(n, nb, 1.0 + static_cast<double>((n + nb) % 3));
+    }
+    profiles.record_request(n, static_cast<reputation::InterestId>(n % 16),
+                            2.0);
+  }
+
+  core::SocialTrustConfig oracle_cfg;
+  oracle_cfg.threads = 2;
+  oracle_cfg.schedule = core::UpdateSchedule::kFullWalk;
+  core::SocialTrustConfig dirty_cfg = oracle_cfg;
+  dirty_cfg.schedule = core::UpdateSchedule::kDirtyPairs;
+  auto make_plugin = [&](const core::SocialTrustConfig& cfg) {
+    return std::make_unique<SocialTrustPlugin>(
+        std::make_unique<reputation::PaperEigenTrust>(
+            kNodes, std::vector<reputation::NodeId>{0, 1},
+            reputation::PaperEigenTrustConfig{}),
+        g, profiles, cfg);
+  };
+  auto oracle = make_plugin(oracle_cfg);
+  auto dirty = make_plugin(dirty_cfg);
+
+  // Fixed rating pool: each node rates three rng-chosen partners, the
+  // same pairs every interval. Re-rating an existing pair does not grow
+  // the rated history, so per-rater aggregates may carry as well.
+  struct Pair {
+    reputation::NodeId rater, ratee;
+  };
+  std::vector<Pair> pool;
+  for (reputation::NodeId r = 0; r < kNodes; ++r) {
+    for (int k = 0; k < 3; ++k) {
+      auto e = static_cast<reputation::NodeId>(rng.index(kNodes));
+      if (e == r) e = (e + 1) % kNodes;
+      pool.push_back(Pair{r, e});
+    }
+  }
+
+  const reputation::NodeId w = 9;  // whitewashed mid-sequence (not pretrusted)
+  std::size_t carried_total = 0;
+  bool saw_fully_clean_interval = false;
+  for (std::size_t t = 0; t < 24; ++t) {
+    stats::Rng interval_rng(5000 + t);
+    std::vector<Rating> ratings;
+    ratings.reserve(pool.size());
+    for (const Pair& p : pool) {
+      ratings.push_back(Rating{
+          p.rater, p.ratee, interval_rng.bernoulli(0.8) ? 1.0 : -1.0, 0, 0,
+          static_cast<reputation::InterestId>(interval_rng.index(16))});
+    }
+
+    // Sparse churn (well under 10% of nodes per interval): occasional
+    // interaction recordings, relationship edits, and profile requests.
+    if (t % 4 == 2) {
+      const auto a = static_cast<graph::NodeId>(interval_rng.index(kNodes));
+      const auto b = static_cast<graph::NodeId>((a + 7) % kNodes);
+      g.record_interaction(a, b, 1.0);
+    }
+    if (t % 6 == 3) {
+      const auto a = static_cast<graph::NodeId>(interval_rng.index(kNodes));
+      const auto b = static_cast<graph::NodeId>((a + 11) % kNodes);
+      g.add_relationship(a, b, Relationship::kColleague);
+    }
+    if (t % 5 == 4) {
+      profiles.record_request(
+          static_cast<reputation::NodeId>(interval_rng.index(kNodes)),
+          static_cast<reputation::InterestId>(interval_rng.index(16)), 1.0);
+    }
+    if (t == 12) {
+      oracle->forget_node(w);
+      dirty->forget_node(w);
+      g.clear_node(w);
+      profiles.clear_requests(w);
+    }
+
+    oracle->update(ratings);
+    dirty->update(ratings);
+
+    IntervalRecord oa, da;
+    auto o_adj = oracle->last_adjusted();
+    oa.adjusted.assign(o_adj.begin(), o_adj.end());
+    oa.report = oracle->last_report();
+    auto o_rep = oracle->reputations();
+    oa.reputations.assign(o_rep.begin(), o_rep.end());
+    auto d_adj = dirty->last_adjusted();
+    da.adjusted.assign(d_adj.begin(), d_adj.end());
+    da.report = dirty->last_report();
+    auto d_rep = dirty->reputations();
+    da.reputations.assign(d_rep.begin(), d_rep.end());
+    expect_record_identical(oa, da, "interval " + std::to_string(t));
+
+    const auto& stats = dirty->last_dirty_stats();
+    EXPECT_EQ(stats.pairs_dirty + stats.pairs_carried,
+              da.report.pairs_total);
+    carried_total += stats.pairs_carried;
+    if (t > 0 && stats.pairs_carried == da.report.pairs_total &&
+        da.report.pairs_total > 0) {
+      saw_fully_clean_interval = true;
+    }
+  }
+
+  // The whole point: the dirty run must have genuinely carried pairs,
+  // including at least one interval where NOTHING was recomputed.
+  EXPECT_GT(carried_total, 0U);
+  EXPECT_TRUE(saw_fully_clean_interval);
 }
 
 }  // namespace

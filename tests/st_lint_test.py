@@ -601,6 +601,117 @@ void f() {
         self.assert_clean(self.lint(f))
 
 
+class WorklistShapeTests(LintFixtureCase):
+    """The dirty-pair worklist shapes (DESIGN.md §14): the cache sweep
+    walks index refs and erases stale entries under a shard lock, staging
+    swept keys into a pre-sized buffer; index rebuilds flatten-and-sort
+    the unordered map's keys before re-emitting refs. These fixtures pin
+    that the engine accepts exactly those shapes and still rejects their
+    naive variants."""
+
+    def test_staged_sweep_walk_passes(self) -> None:
+        # The collect_dirty shape: find/erase under the lock are fine, the
+        # swept keys land in a pre-sized buffer (no allocation in-loop)
+        # and are bulk-appended in a single statement.
+        f = self.write("src/core/ok.cpp", """
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+std::mutex m;
+std::unordered_map<std::uint64_t, int> entries;
+std::vector<std::uint64_t> refs;
+void sweep(std::vector<std::uint64_t>& out) {
+  std::vector<std::uint64_t> staged;
+  std::lock_guard lock(m);
+  if (staged.size() < refs.size()) staged.resize(refs.size());
+  std::size_t n_staged = 0;
+  std::size_t keep = 0;
+  for (const std::uint64_t key : refs) {
+    auto it = entries.find(key);
+    if (it == entries.end()) continue;
+    if (it->second > 0) {
+      refs[keep++] = key;
+      continue;
+    }
+    staged[n_staged++] = key;
+    entries.erase(it);
+  }
+  refs.resize(keep);
+  out.insert(out.end(), staged.begin(), staged.begin() + n_staged);
+}
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_allocating_sweep_walk_fires(self) -> None:
+        # Same walk, but the swept keys are pushed straight into the
+        # output under the lock — the allocating-loop shape LOCK-3 exists
+        # to reject.
+        f = self.write("src/core/bad.cpp", """
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+std::mutex m;
+std::unordered_map<std::uint64_t, int> entries;
+std::vector<std::uint64_t> refs;
+void sweep(std::vector<std::uint64_t>& out) {
+  std::lock_guard lock(m);
+  for (const std::uint64_t key : refs) {
+    auto it = entries.find(key);
+    if (it == entries.end()) continue;
+    out.push_back(key);
+    entries.erase(it);
+  }
+}
+""")
+        self.assert_fires(self.lint(f), "LOCK-3")
+
+    def test_sorted_index_rebuild_passes(self) -> None:
+        # The compaction shape: flatten the unordered map's keys, sort,
+        # then rebuild the ref list from the sorted keys — the sanctioned
+        # flatten-then-sort idiom, no DET-2.
+        f = self.write("src/core/ok.cpp", """
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+std::unordered_map<std::uint64_t, int> entries;
+std::vector<std::pair<int, std::uint64_t>> refs;
+void compact() {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(entries.size());
+  for (const auto& kv : entries) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  refs.clear();
+  for (const std::uint64_t key : keys) {
+    refs.emplace_back(entries.find(key)->second, key);
+  }
+}
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_hash_order_index_rebuild_fires(self) -> None:
+        # Rebuilding the ref list straight off the unordered map bakes
+        # hash order into the index — DET-2.
+        f = self.write("src/core/bad.cpp", """
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+std::unordered_map<std::uint64_t, int> entries;
+std::vector<std::pair<int, std::uint64_t>> refs;
+void compact() {
+  refs.clear();
+  for (const auto& kv : entries) {
+    refs.emplace_back(kv.second, kv.first);
+  }
+}
+""")
+        self.assert_fires(self.lint(f), "DET-2")
+
+
 class ObsDocsTests(LintFixtureCase):
     """OBS-1/OBS-2: metric names vs the Metric reference tables. Fixture
     trees opt in with --obs-doc (by default the doc diff only runs when
