@@ -57,10 +57,14 @@ double ClosenessModel::relationship_mass(const graph::SocialGraph& g,
 double ClosenessModel::adjacent_closeness(const graph::SocialGraph& g,
                                           graph::NodeId i,
                                           graph::NodeId j) const {
-  if (!g.adjacent(i, j)) return 0.0;
-  double total = g.total_interactions(i);
+  // One probe of i's sorted CSR row answers both "adjacent?" (mask != 0)
+  // and "which types?" — the pre-CSR version paid a separate adjacency
+  // search before fetching the mask.
+  const std::uint8_t mask = g.relationship_mask(i, j);
+  if (mask == 0) return 0.0;
+  const double total = g.total_interactions(i);
   if (total <= 0.0) return 0.0;
-  return relationship_mass(g, i, j) * g.interaction(i, j) / total;
+  return mass_table_[mask] * g.interaction(i, j) / total;
 }
 
 double ClosenessModel::fof_closeness(
@@ -93,7 +97,15 @@ double ClosenessModel::closeness(const graph::SocialGraph& g,
                                  graph::NodeId i, graph::NodeId j,
                                  std::size_t max_hops) const {
   if (i == j) return 0.0;  // self-closeness is meaningless for rating pairs
-  if (g.adjacent(i, j)) return adjacent_closeness(g, i, j);
+  // Adjacent fast path inlined so the pair costs one CSR row probe for
+  // adjacency + mask together (plus the interaction lookup), instead of
+  // a separate adjacent() search before adjacent_closeness() re-probes.
+  const std::uint8_t mask = g.relationship_mask(i, j);
+  if (mask != 0) {
+    const double total = g.total_interactions(i);
+    if (total <= 0.0) return 0.0;
+    return mass_table_[mask] * g.interaction(i, j) / total;
+  }
 
   std::vector<graph::NodeId> common = g.common_friends(i, j);
   if (!common.empty()) return fof_closeness(g, i, j, common);

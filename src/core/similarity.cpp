@@ -7,9 +7,11 @@ namespace st::core {
 
 InterestProfiles::InterestProfiles(std::size_t node_count,
                                    std::size_t category_count)
-    : categories_(category_count),
-      declared_(node_count),
-      request_counts_(node_count, std::vector<double>(category_count, 0.0)),
+    : node_count_(node_count),
+      categories_(category_count),
+      offsets_(node_count + 1, 0),
+      overlay_slot_(node_count, kNoOverlay),
+      request_counts_(node_count * category_count, 0.0),
       request_totals_(node_count, 0.0),
       revisions_(node_count, 0) {
   if (category_count == 0)
@@ -17,13 +19,66 @@ InterestProfiles::InterestProfiles(std::size_t node_count,
 }
 
 void InterestProfiles::check_node(NodeId node) const {
-  if (node >= declared_.size())
+  if (node >= node_count_)
     throw std::out_of_range("InterestProfiles: node out of range");
 }
 
 void InterestProfiles::bump(NodeId node) {
   ++revisions_[node];
   ++epoch_;
+}
+
+InterestProfiles::Row InterestProfiles::row(NodeId node) const noexcept {
+  const std::uint32_t slot = overlay_slot_[node];
+  if (slot != kNoOverlay) {
+    const std::vector<InterestId>& r = overlay_[slot];
+    return {r.data(), r.size()};
+  }
+  const std::uint64_t begin = offsets_[node];
+  return {ids_.data() + begin,
+          static_cast<std::size_t>(offsets_[node + 1] - begin)};
+}
+
+std::vector<InterestId>& InterestProfiles::materialize(NodeId node) {
+  std::uint32_t slot = overlay_slot_[node];
+  if (slot == kNoOverlay) {
+    slot = static_cast<std::uint32_t>(overlay_.size());
+    const std::uint64_t begin = offsets_[node];
+    const std::uint64_t end = offsets_[node + 1];
+    overlay_.emplace_back(ids_.begin() + static_cast<std::ptrdiff_t>(begin),
+                          ids_.begin() + static_cast<std::ptrdiff_t>(end));
+    overlay_slot_[node] = slot;
+    overlay_entries_ += overlay_.back().size();
+    ++overlay_live_;
+  }
+  return overlay_[slot];
+}
+
+void InterestProfiles::rebuild() {
+  std::vector<std::uint64_t> offsets(node_count_ + 1, 0);
+  std::uint64_t total = 0;
+  for (NodeId node = 0; node < node_count_; ++node) {
+    offsets[node] = total;
+    total += row(node).size;
+  }
+  offsets[node_count_] = total;
+  std::vector<InterestId> ids(total);
+  for (NodeId node = 0; node < node_count_; ++node) {
+    const Row r = row(node);
+    std::copy(r.ids, r.ids + r.size,
+              ids.begin() + static_cast<std::ptrdiff_t>(offsets[node]));
+  }
+  offsets_ = std::move(offsets);
+  ids_ = std::move(ids);
+  overlay_.clear();
+  std::fill(overlay_slot_.begin(), overlay_slot_.end(), kNoOverlay);
+  overlay_entries_ = 0;
+  overlay_live_ = 0;
+  ++rebuilds_;
+}
+
+void InterestProfiles::begin_interval() {
+  if (delta_mass() > 0) rebuild();
 }
 
 void InterestProfiles::set_interests(NodeId node,
@@ -35,43 +90,57 @@ void InterestProfiles::set_interests(NodeId node,
   }
   std::sort(next.begin(), next.end());
   next.erase(std::unique(next.begin(), next.end()), next.end());
-  if (next != declared_[node]) {
-    declared_[node] = std::move(next);
+  const Row current = row(node);
+  if (next.size() != current.size ||
+      !std::equal(next.begin(), next.end(), current.ids)) {
+    const std::size_t before = materialize(node).size();
+    overlay_[overlay_slot_[node]] = std::move(next);
+    overlay_entries_ += overlay_[overlay_slot_[node]].size() - before;
     bump(node);
   }
+  maybe_rebuild();
 }
 
 void InterestProfiles::add_interest(NodeId node, InterestId interest) {
   check_node(node);
   if (interest >= categories_) return;
-  auto& set = declared_[node];
-  auto it = std::lower_bound(set.begin(), set.end(), interest);
-  if (it == set.end() || *it != interest) {
-    set.insert(it, interest);
+  const Row current = row(node);
+  const InterestId* end = current.ids + current.size;
+  const InterestId* it = std::lower_bound(current.ids, end, interest);
+  if (it == end || *it != interest) {
+    std::vector<InterestId>& set = materialize(node);
+    set.insert(std::lower_bound(set.begin(), set.end(), interest), interest);
+    ++overlay_entries_;
     bump(node);
   }
+  maybe_rebuild();
 }
 
 void InterestProfiles::remove_interest(NodeId node, InterestId interest) {
   check_node(node);
-  auto& set = declared_[node];
-  auto it = std::lower_bound(set.begin(), set.end(), interest);
-  if (it != set.end() && *it == interest) {
-    set.erase(it);
+  const Row current = row(node);
+  const InterestId* end = current.ids + current.size;
+  const InterestId* it = std::lower_bound(current.ids, end, interest);
+  if (it != end && *it == interest) {
+    std::vector<InterestId>& set = materialize(node);
+    set.erase(std::lower_bound(set.begin(), set.end(), interest));
+    --overlay_entries_;
     bump(node);
   }
+  maybe_rebuild();
 }
 
 std::span<const InterestId> InterestProfiles::declared(NodeId node) const {
   check_node(node);
-  return declared_[node];
+  const Row r = row(node);
+  return {r.ids, r.size};
 }
 
 void InterestProfiles::record_request(NodeId node, InterestId category,
                                       double count) {
   check_node(node);
   if (category >= categories_ || count <= 0.0) return;
-  request_counts_[node][category] += count;
+  request_counts_[node * categories_ + category] += count;
   request_totals_[node] += count;
   bump(node);
 }
@@ -80,7 +149,8 @@ double InterestProfiles::request_weight(NodeId node,
                                         InterestId category) const {
   check_node(node);
   if (category >= categories_ || request_totals_[node] <= 0.0) return 0.0;
-  return request_counts_[node][category] / request_totals_[node];
+  return request_counts_[node * categories_ + category] /
+         request_totals_[node];
 }
 
 double InterestProfiles::total_requests(NodeId node) const {
@@ -90,9 +160,11 @@ double InterestProfiles::total_requests(NodeId node) const {
 
 std::vector<InterestId> InterestProfiles::effective(NodeId node) const {
   check_node(node);
-  std::vector<InterestId> result = declared_[node];
+  const Row r = row(node);
+  std::vector<InterestId> result(r.ids, r.ids + r.size);
+  const double* counts = request_counts_.data() + node * categories_;
   for (std::size_t c = 0; c < categories_; ++c) {
-    if (request_counts_[node][c] > 0.0) {
+    if (counts[c] > 0.0) {
       auto id = static_cast<InterestId>(c);
       auto it = std::lower_bound(result.begin(), result.end(), id);
       if (it == result.end() || *it != id) result.insert(it, id);
@@ -104,7 +176,8 @@ std::vector<InterestId> InterestProfiles::effective(NodeId node) const {
 void InterestProfiles::clear_requests(NodeId node) {
   check_node(node);
   if (request_totals_[node] == 0.0) return;
-  std::fill(request_counts_[node].begin(), request_counts_[node].end(), 0.0);
+  double* counts = request_counts_.data() + node * categories_;
+  std::fill(counts, counts + categories_, 0.0);
   request_totals_[node] = 0.0;
   bump(node);
 }
@@ -112,13 +185,15 @@ void InterestProfiles::clear_requests(NodeId node) {
 double InterestProfiles::similarity(NodeId a, NodeId b) const {
   check_node(a);
   check_node(b);
-  const auto& va = declared_[a];
-  const auto& vb = declared_[b];
-  if (va.empty() || vb.empty()) return 0.0;
+  const Row va = row(a);
+  const Row vb = row(b);
+  if (va.size == 0 || vb.size == 0) return 0.0;
   std::size_t overlap = 0;
-  auto ia = va.begin();
-  auto ib = vb.begin();
-  while (ia != va.end() && ib != vb.end()) {
+  const InterestId* ia = va.ids;
+  const InterestId* ea = va.ids + va.size;
+  const InterestId* ib = vb.ids;
+  const InterestId* eb = vb.ids + vb.size;
+  while (ia != ea && ib != eb) {
     if (*ia < *ib) {
       ++ia;
     } else if (*ib < *ia) {
@@ -130,7 +205,7 @@ double InterestProfiles::similarity(NodeId a, NodeId b) const {
     }
   }
   return static_cast<double>(overlap) /
-         static_cast<double>(std::min(va.size(), vb.size()));
+         static_cast<double>(std::min(va.size, vb.size));
 }
 
 double InterestProfiles::weighted_similarity(NodeId a, NodeId b) const {

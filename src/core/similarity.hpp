@@ -10,6 +10,18 @@
 // declared interest with no requests contributes nothing. We therefore
 // evaluate Eq. (11) over the *effective* interest set — declared interests
 // plus any category the node actually requested from.
+//
+// Storage layout (DESIGN.md §15, docs/ARCHITECTURE.md). Declared sets
+// live in a flat CSR array (offsets + sorted interest ids) with the same
+// copy-on-write delta overlay scheme as graph::SocialGraph: the first
+// set-resizing mutation of a node copies its row into a private sorted
+// overlay row, and a deterministic compaction (threshold-triggered, or
+// explicit at begin_interval()) folds the overlay back into fresh flat
+// arrays. The request histogram is one dense node-major matrix
+// (node_count x category_count doubles) — record_request is a single
+// indexed store, and every similarity pass reads two contiguous rows.
+// Rebuilds are representation-only: no accessor result and no revision
+// counter changes.
 
 #include <cstdint>
 #include <span>
@@ -33,7 +45,7 @@ class InterestProfiles {
   /// `node_count` peers over `category_count` product/resource categories.
   InterestProfiles(std::size_t node_count, std::size_t category_count);
 
-  std::size_t node_count() const noexcept { return declared_.size(); }
+  std::size_t node_count() const noexcept { return node_count_; }
   std::size_t category_count() const noexcept { return categories_; }
 
   /// Replaces the declared interest set of `node` (the profile a user
@@ -43,7 +55,9 @@ class InterestProfiles {
   void add_interest(NodeId node, InterestId interest);
   void remove_interest(NodeId node, InterestId interest);
 
-  /// Declared interests, ascending.
+  /// Declared interests, ascending. Invalidated by any mutating method
+  /// (a mutation may trigger a compaction that moves every row — same
+  /// span-stability contract as SocialGraph::neighbors()).
   std::span<const InterestId> declared(NodeId node) const;
 
   /// Records `count` resource requests by `node` in `category` — the
@@ -91,16 +105,70 @@ class InterestProfiles {
   /// Global epoch: bumps whenever any profile changes.
   Revision epoch() const noexcept { return epoch_; }
 
+  /// Interval hook: compacts any pending declared-set overlay into fresh
+  /// flat CSR arrays. Representation-only; invalidates outstanding
+  /// declared() spans. Called by the Simulator alongside
+  /// SocialGraph::begin_interval().
+  void begin_interval();
+
+  /// Compactions performed so far (tests, bench, docs).
+  std::uint64_t rebuild_count() const noexcept { return rebuilds_; }
+
+  /// Overlay entries + materialised overlay rows — what the rebuild
+  /// threshold watches.
+  std::size_t delta_mass() const noexcept {
+    return overlay_entries_ + overlay_live_;
+  }
+
+  /// Same rebuild-threshold scheme as SocialGraph (see its doc comment).
+  static constexpr std::size_t kRebuildMinDelta = 256;
+  static constexpr std::size_t kRebuildFraction = 4;
+
  private:
+  static constexpr std::uint32_t kNoOverlay = 0xFFFFFFFFU;
+
+  struct Row {
+    const InterestId* ids = nullptr;
+    std::size_t size = 0;
+  };
+  Row row(NodeId node) const noexcept;
+
+  /// Copies node's CSR row into a fresh overlay row and routes the node
+  /// there. No-op if already routed.
+  std::vector<InterestId>& materialize(NodeId node);
+
+  void maybe_rebuild() {
+    const std::size_t mass = delta_mass();
+    if (mass >= kRebuildMinDelta &&
+        mass * kRebuildFraction >= ids_.size() + node_count_) {
+      rebuild();
+    }
+  }
+  void rebuild();
+
   void check_node(NodeId node) const;
   void bump(NodeId node);
 
+  std::size_t node_count_;
   std::size_t categories_;
-  std::vector<std::vector<InterestId>> declared_;        // sorted
-  std::vector<std::vector<double>> request_counts_;      // dense per category
+
+  // Declared-set CSR: node's row is ids_[offsets_[node] ..
+  // offsets_[node+1]), sorted ascending; overlay as in SocialGraph.
+  std::vector<std::uint64_t> offsets_;
+  std::vector<InterestId> ids_;
+  std::vector<std::uint32_t> overlay_slot_;
+  std::vector<std::vector<InterestId>> overlay_;
+  std::size_t overlay_entries_ = 0;
+  std::size_t overlay_live_ = 0;
+
+  // Request histogram: one dense node-major matrix,
+  // request_counts_[node * categories_ + category].
+  std::vector<double> request_counts_;
   std::vector<double> request_totals_;
+
   std::vector<Revision> revisions_;
   Revision epoch_ = 0;
+  std::uint64_t rebuilds_ = 0;
 };
 
 }  // namespace st::core

@@ -16,6 +16,7 @@ SocialGraph erdos_renyi(std::size_t n, double p, stats::Rng& rng) {
       }
     }
   }
+  g.begin_interval();  // hand out pure CSR rows, no overlay
   return g;
 }
 
@@ -48,6 +49,7 @@ SocialGraph watts_strogatz(std::size_t n, std::size_t k, double beta,
       }
     }
   }
+  g.begin_interval();  // hand out pure CSR rows, no overlay
   return g;
 }
 
@@ -81,6 +83,7 @@ SocialGraph barabasi_albert(std::size_t n, std::size_t m, stats::Rng& rng) {
       ++attached;
     }
   }
+  g.begin_interval();  // hand out pure CSR rows, no overlay
   return g;
 }
 

@@ -60,10 +60,13 @@ void write_edge_list(std::ostream& out, const SocialGraph& graph) {
     }
   }
   for (NodeId from = 0; from < graph.size(); ++from) {
-    for (NodeId to = 0; to < graph.size(); ++to) {
-      double count = graph.interaction(from, to);
-      if (count > 0.0) {
-        out << "i " << from << " " << to << " " << count << "\n";
+    // One CSR row walk per node (targets are ascending, matching the old
+    // O(n^2) probe loop's output order); zero-count tombstones skipped.
+    const auto row = graph.interactions(from);
+    for (std::size_t k = 0; k < row.targets.size(); ++k) {
+      if (row.counts[k] > 0.0) {
+        out << "i " << from << " " << row.targets[k] << " " << row.counts[k]
+            << "\n";
       }
     }
   }

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <bit>
-#include <queue>
 #include <stdexcept>
+
+#include "obs/obs.hpp"
 
 namespace st::graph {
 
@@ -26,12 +27,18 @@ double default_relationship_weight(Relationship r) noexcept {
 }
 
 SocialGraph::SocialGraph(std::size_t node_count)
-    : adjacency_(node_count),
-      neighbor_ids_(node_count),
-      interactions_(node_count),
+    : node_count_(node_count),
+      rel_offsets_(node_count + 1, 0),
+      rel_overlay_slot_(node_count, kNoOverlay),
+      int_offsets_(node_count + 1, 0),
+      int_overlay_slot_(node_count, kNoOverlay),
       interaction_totals_(node_count, 0.0),
       revisions_(node_count, 0),
-      structure_revisions_(node_count, 0) {}
+      structure_revisions_(node_count, 0) {
+  auto& registry = obs::Obs::instance().registry();
+  obs_rebuilds_ = &registry.counter("social_graph.csr_rebuilds");
+  obs_delta_edges_ = &registry.counter("social_graph.csr_delta_edges");
+}
 
 void SocialGraph::bump_structure(NodeId a, NodeId b) {
   ++structure_revisions_[a];
@@ -48,168 +55,370 @@ void SocialGraph::bump_value(NodeId a) {
 }
 
 void SocialGraph::check_node(NodeId a) const {
-  if (a >= adjacency_.size())
+  if (a >= node_count_)
     throw std::out_of_range("SocialGraph: node id out of range");
 }
 
-const SocialGraph::EdgeRecord* SocialGraph::find_edge(
-    NodeId a, NodeId b) const noexcept {
-  const auto& edges = adjacency_[a];
-  auto it = std::lower_bound(
-      edges.begin(), edges.end(), b,
-      [](const EdgeRecord& e, NodeId id) { return e.to < id; });
-  return (it != edges.end() && it->to == b) ? &*it : nullptr;
+// --- row views ---------------------------------------------------------------
+
+SocialGraph::RelRow SocialGraph::rel_row(NodeId a) const noexcept {
+  const std::uint32_t slot = rel_overlay_slot_[a];
+  if (slot != kNoOverlay) {
+    const RelOverlayRow& row = rel_overlay_[slot];
+    return {row.targets.data(), row.masks.data(), row.targets.size()};
+  }
+  const std::uint64_t begin = rel_offsets_[a];
+  return {rel_targets_.data() + begin, rel_masks_.data() + begin,
+          static_cast<std::size_t>(rel_offsets_[a + 1] - begin)};
 }
 
-SocialGraph::EdgeRecord* SocialGraph::find_edge(NodeId a, NodeId b) noexcept {
-  return const_cast<EdgeRecord*>(
-      static_cast<const SocialGraph*>(this)->find_edge(a, b));
+SocialGraph::RelRowMut SocialGraph::rel_row_mut(NodeId a) noexcept {
+  const std::uint32_t slot = rel_overlay_slot_[a];
+  if (slot != kNoOverlay) {
+    RelOverlayRow& row = rel_overlay_[slot];
+    return {row.targets.data(), row.masks.data(), row.targets.size()};
+  }
+  const std::uint64_t begin = rel_offsets_[a];
+  return {rel_targets_.data() + begin, rel_masks_.data() + begin,
+          static_cast<std::size_t>(rel_offsets_[a + 1] - begin)};
 }
+
+SocialGraph::IntRow SocialGraph::int_row(NodeId a) const noexcept {
+  const std::uint32_t slot = int_overlay_slot_[a];
+  if (slot != kNoOverlay) {
+    const IntOverlayRow& row = int_overlay_[slot];
+    return {row.targets.data(), row.counts.data(), row.targets.size()};
+  }
+  const std::uint64_t begin = int_offsets_[a];
+  return {int_targets_.data() + begin, int_counts_.data() + begin,
+          static_cast<std::size_t>(int_offsets_[a + 1] - begin)};
+}
+
+SocialGraph::IntRowMut SocialGraph::int_row_mut(NodeId a) noexcept {
+  const std::uint32_t slot = int_overlay_slot_[a];
+  if (slot != kNoOverlay) {
+    IntOverlayRow& row = int_overlay_[slot];
+    return {row.targets.data(), row.counts.data(), row.targets.size()};
+  }
+  const std::uint64_t begin = int_offsets_[a];
+  return {int_targets_.data() + begin, int_counts_.data() + begin,
+          static_cast<std::size_t>(int_offsets_[a + 1] - begin)};
+}
+
+std::size_t SocialGraph::find_in(const NodeId* targets, std::size_t size,
+                                 NodeId b) noexcept {
+  const NodeId* end = targets + size;
+  const NodeId* it = std::lower_bound(targets, end, b);
+  return (it != end && *it == b) ? static_cast<std::size_t>(it - targets)
+                                 : static_cast<std::size_t>(-1);
+}
+
+SocialGraph::RelOverlayRow& SocialGraph::materialize_rel(NodeId a) {
+  std::uint32_t slot = rel_overlay_slot_[a];
+  if (slot == kNoOverlay) {
+    slot = static_cast<std::uint32_t>(rel_overlay_.size());
+    rel_overlay_.emplace_back();
+    RelOverlayRow& row = rel_overlay_.back();
+    const std::uint64_t begin = rel_offsets_[a];
+    const std::uint64_t end = rel_offsets_[a + 1];
+    row.targets.assign(rel_targets_.begin() + static_cast<std::ptrdiff_t>(begin),
+                       rel_targets_.begin() + static_cast<std::ptrdiff_t>(end));
+    row.masks.assign(rel_masks_.begin() + static_cast<std::ptrdiff_t>(begin),
+                     rel_masks_.begin() + static_cast<std::ptrdiff_t>(end));
+    rel_overlay_slot_[a] = slot;
+    rel_overlay_entries_ += row.targets.size();
+    ++rel_overlay_live_;
+  }
+  return rel_overlay_[slot];
+}
+
+SocialGraph::IntOverlayRow& SocialGraph::materialize_int(NodeId a) {
+  std::uint32_t slot = int_overlay_slot_[a];
+  if (slot == kNoOverlay) {
+    slot = static_cast<std::uint32_t>(int_overlay_.size());
+    int_overlay_.emplace_back();
+    IntOverlayRow& row = int_overlay_.back();
+    const std::uint64_t begin = int_offsets_[a];
+    const std::uint64_t end = int_offsets_[a + 1];
+    row.targets.assign(int_targets_.begin() + static_cast<std::ptrdiff_t>(begin),
+                       int_targets_.begin() + static_cast<std::ptrdiff_t>(end));
+    row.counts.assign(int_counts_.begin() + static_cast<std::ptrdiff_t>(begin),
+                      int_counts_.begin() + static_cast<std::ptrdiff_t>(end));
+    int_overlay_slot_[a] = slot;
+    int_overlay_entries_ += row.targets.size();
+    ++int_overlay_live_;
+  }
+  return int_overlay_[slot];
+}
+
+// --- compaction --------------------------------------------------------------
+
+void SocialGraph::rebuild() {
+  const std::uint64_t delta =
+      rel_overlay_entries_ + int_overlay_entries_ + int_tombstones_;
+
+  // Adjacency: one node-ordered sweep, each row taken from its overlay
+  // when routed there, from the old CSR slice otherwise. Rows are already
+  // sorted, so the result is the canonical sorted CSR independent of the
+  // mutation order that produced the overlay.
+  {
+    std::vector<std::uint64_t> offsets(node_count_ + 1, 0);
+    std::uint64_t total = 0;
+    for (NodeId a = 0; a < node_count_; ++a) {
+      offsets[a] = total;
+      total += rel_row(a).size;
+    }
+    offsets[node_count_] = total;
+    std::vector<NodeId> targets(total);
+    std::vector<std::uint8_t> masks(total);
+    for (NodeId a = 0; a < node_count_; ++a) {
+      const RelRow row = rel_row(a);
+      std::copy(row.targets, row.targets + row.size,
+                targets.begin() + static_cast<std::ptrdiff_t>(offsets[a]));
+      std::copy(row.masks, row.masks + row.size,
+                masks.begin() + static_cast<std::ptrdiff_t>(offsets[a]));
+    }
+    rel_offsets_ = std::move(offsets);
+    rel_targets_ = std::move(targets);
+    rel_masks_ = std::move(masks);
+    rel_overlay_.clear();
+    std::fill(rel_overlay_slot_.begin(), rel_overlay_slot_.end(), kNoOverlay);
+    rel_overlay_entries_ = 0;
+    rel_overlay_live_ = 0;
+  }
+
+  // Interactions: same sweep; zero-count tombstones (cleared targets) are
+  // dropped — interaction() treats missing and zero identically, so this
+  // is invisible to every accessor.
+  {
+    std::vector<std::uint64_t> offsets(node_count_ + 1, 0);
+    std::uint64_t total = 0;
+    for (NodeId a = 0; a < node_count_; ++a) {
+      offsets[a] = total;
+      const IntRow row = int_row(a);
+      for (std::size_t k = 0; k < row.size; ++k) {
+        if (row.counts[k] > 0.0) ++total;
+      }
+    }
+    offsets[node_count_] = total;
+    std::vector<NodeId> targets(total);
+    std::vector<double> counts(total);
+    std::uint64_t out = 0;
+    for (NodeId a = 0; a < node_count_; ++a) {
+      const IntRow row = int_row(a);
+      for (std::size_t k = 0; k < row.size; ++k) {
+        if (row.counts[k] > 0.0) {
+          targets[out] = row.targets[k];
+          counts[out] = row.counts[k];
+          ++out;
+        }
+      }
+    }
+    int_offsets_ = std::move(offsets);
+    int_targets_ = std::move(targets);
+    int_counts_ = std::move(counts);
+    int_overlay_.clear();
+    std::fill(int_overlay_slot_.begin(), int_overlay_slot_.end(), kNoOverlay);
+    int_overlay_entries_ = 0;
+    int_overlay_live_ = 0;
+    int_tombstones_ = 0;
+  }
+
+  ++rebuilds_;
+  obs_rebuilds_->add(1);
+  obs_delta_edges_->add(delta);
+}
+
+void SocialGraph::begin_interval() {
+  if (delta_mass() > 0) rebuild();
+}
+
+// --- relationships -----------------------------------------------------------
 
 bool SocialGraph::add_relationship(NodeId a, NodeId b, Relationship r) {
   check_node(a);
   check_node(b);
   if (a == b) return false;
-  auto mask = static_cast<std::uint8_t>(1U << static_cast<unsigned>(r));
+  const auto mask = static_cast<std::uint8_t>(1U << static_cast<unsigned>(r));
   bool new_edge = false;
   auto insert_half = [&](NodeId from, NodeId to) {
-    auto& edges = adjacency_[from];
-    auto it = std::lower_bound(
-        edges.begin(), edges.end(), to,
-        [](const EdgeRecord& e, NodeId id) { return e.to < id; });
-    if (it != edges.end() && it->to == to) {
-      if (it->relationship_mask & mask) return false;
-      it->relationship_mask |= mask;
+    const RelRowMut row = rel_row_mut(from);
+    const std::size_t idx = find_in(row.targets, row.size, to);
+    if (idx != static_cast<std::size_t>(-1)) {
+      if (row.masks[idx] & mask) return false;
+      row.masks[idx] |= mask;  // in-place: row length is unchanged
       return true;
     }
-    edges.insert(it, EdgeRecord{to, mask});
-    auto& ids = neighbor_ids_[from];
-    ids.insert(std::lower_bound(ids.begin(), ids.end(), to), to);
+    RelOverlayRow& overlay = materialize_rel(from);
+    const auto it = std::lower_bound(overlay.targets.begin(),
+                                     overlay.targets.end(), to);
+    const auto pos = it - overlay.targets.begin();
+    overlay.targets.insert(it, to);
+    overlay.masks.insert(overlay.masks.begin() + pos, mask);
+    ++rel_overlay_entries_;
+    ++half_edges_;
     new_edge = true;
     return true;
   };
-  bool added = insert_half(a, b);
+  const bool added = insert_half(a, b);
   insert_half(b, a);
   if (added) bump_structure(a, b);
   // A brand-new adjacency (as opposed to one more type on an existing
   // edge) is the only mutation that can create or shorten paths.
   if (new_edge) ++addition_epoch_;
+  maybe_rebuild();
   return added;
 }
 
 bool SocialGraph::remove_relationship(NodeId a, NodeId b, Relationship r) {
   check_node(a);
   check_node(b);
-  auto mask = static_cast<std::uint8_t>(1U << static_cast<unsigned>(r));
+  const auto mask = static_cast<std::uint8_t>(1U << static_cast<unsigned>(r));
   auto remove_half = [&](NodeId from, NodeId to) {
-    EdgeRecord* e = find_edge(from, to);
-    if (!e || !(e->relationship_mask & mask)) return false;
-    e->relationship_mask &= static_cast<std::uint8_t>(~mask);
-    if (e->relationship_mask == 0) {
-      auto& edges = adjacency_[from];
-      edges.erase(edges.begin() + (e - edges.data()));
-      auto& ids = neighbor_ids_[from];
-      ids.erase(std::lower_bound(ids.begin(), ids.end(), to));
+    const RelRowMut row = rel_row_mut(from);
+    const std::size_t idx = find_in(row.targets, row.size, to);
+    if (idx == static_cast<std::size_t>(-1) || !(row.masks[idx] & mask))
+      return false;
+    const auto next =
+        static_cast<std::uint8_t>(row.masks[idx] & ~unsigned{mask});
+    if (next != 0) {
+      row.masks[idx] = next;  // in-place: the edge survives
+      return true;
     }
+    // Last type on the edge: the entry disappears, which resizes the row
+    // — materialise and erase from the overlay copy.
+    RelOverlayRow& overlay = materialize_rel(from);
+    const auto it = std::lower_bound(overlay.targets.begin(),
+                                     overlay.targets.end(), to);
+    const auto pos = it - overlay.targets.begin();
+    overlay.targets.erase(it);
+    overlay.masks.erase(overlay.masks.begin() + pos);
+    --rel_overlay_entries_;
+    --half_edges_;
     return true;
   };
-  bool removed = remove_half(a, b);
+  const bool removed = remove_half(a, b);
   remove_half(b, a);
   if (removed) bump_structure(a, b);
+  maybe_rebuild();
   return removed;
 }
 
 bool SocialGraph::adjacent(NodeId a, NodeId b) const noexcept {
-  if (a >= adjacency_.size() || b >= adjacency_.size()) return false;
-  return find_edge(a, b) != nullptr;
+  return relationship_mask(a, b) != 0;
 }
 
 std::size_t SocialGraph::relationship_count(NodeId a,
                                             NodeId b) const noexcept {
-  if (a >= adjacency_.size() || b >= adjacency_.size()) return 0;
-  const EdgeRecord* e = find_edge(a, b);
-  return e ? static_cast<std::size_t>(std::popcount(e->relationship_mask))
-           : 0;
+  return static_cast<std::size_t>(std::popcount(relationship_mask(a, b)));
 }
 
 std::vector<Relationship> SocialGraph::relationships(NodeId a,
                                                      NodeId b) const {
   std::vector<Relationship> result;
-  if (a >= adjacency_.size() || b >= adjacency_.size()) return result;
-  const EdgeRecord* e = find_edge(a, b);
-  if (!e) return result;
+  const std::uint8_t mask = relationship_mask(a, b);
   for (std::size_t i = 0; i < kRelationshipCount; ++i) {
-    if (e->relationship_mask & (1U << i))
-      result.push_back(static_cast<Relationship>(i));
+    if (mask & (1U << i)) result.push_back(static_cast<Relationship>(i));
   }
   return result;
 }
 
 std::uint8_t SocialGraph::relationship_mask(NodeId a,
                                             NodeId b) const noexcept {
-  if (a >= adjacency_.size() || b >= adjacency_.size()) return 0;
-  const EdgeRecord* e = find_edge(a, b);
-  return e ? e->relationship_mask : 0;
+  if (a >= node_count_ || b >= node_count_) return 0;
+  const RelRow row = rel_row(a);
+  const std::size_t idx = find_in(row.targets, row.size, b);
+  return idx != static_cast<std::size_t>(-1) ? row.masks[idx] : 0;
 }
 
 std::span<const NodeId> SocialGraph::neighbors(NodeId a) const noexcept {
-  if (a >= neighbor_ids_.size()) return {};
-  return neighbor_ids_[a];
+  if (a >= node_count_) return {};
+  const RelRow row = rel_row(a);
+  return {row.targets, row.size};
 }
 
 std::size_t SocialGraph::degree(NodeId a) const noexcept {
-  return a < adjacency_.size() ? adjacency_[a].size() : 0;
+  return a < node_count_ ? rel_row(a).size : 0;
 }
+
+// --- interactions ------------------------------------------------------------
 
 void SocialGraph::record_interaction(NodeId from, NodeId to, double count) {
   check_node(from);
   check_node(to);
   if (from == to || count <= 0.0) return;
-  auto& row = interactions_[from];
-  auto it = std::lower_bound(
-      row.begin(), row.end(), to,
-      [](const std::pair<NodeId, double>& p, NodeId id) {
-        return p.first < id;
-      });
-  if (it != row.end() && it->first == to) {
-    it->second += count;
+  const IntRowMut row = int_row_mut(from);
+  const std::size_t idx = find_in(row.targets, row.size, to);
+  if (idx != static_cast<std::size_t>(-1)) {
+    if (row.counts[idx] == 0.0 && int_tombstones_ > 0) --int_tombstones_;
+    row.counts[idx] += count;  // in-place: counts are mutable CSR payload
   } else {
-    row.insert(it, {to, count});
+    IntOverlayRow& overlay = materialize_int(from);
+    const auto it =
+        std::lower_bound(overlay.targets.begin(), overlay.targets.end(), to);
+    const auto pos = it - overlay.targets.begin();
+    overlay.targets.insert(it, to);
+    overlay.counts.insert(overlay.counts.begin() + pos, count);
+    ++int_overlay_entries_;
   }
   interaction_totals_[from] += count;
   bump_value(from);
+  maybe_rebuild();
 }
 
 double SocialGraph::interaction(NodeId from, NodeId to) const noexcept {
-  if (from >= interactions_.size()) return 0.0;
-  const auto& row = interactions_[from];
-  auto it = std::lower_bound(
-      row.begin(), row.end(), to,
-      [](const std::pair<NodeId, double>& p, NodeId id) {
-        return p.first < id;
-      });
-  return (it != row.end() && it->first == to) ? it->second : 0.0;
+  if (from >= node_count_) return 0.0;
+  const IntRow row = int_row(from);
+  const std::size_t idx = find_in(row.targets, row.size, to);
+  return idx != static_cast<std::size_t>(-1) ? row.counts[idx] : 0.0;
 }
 
 double SocialGraph::total_interactions(NodeId from) const noexcept {
-  return from < interaction_totals_.size() ? interaction_totals_[from] : 0.0;
+  return from < node_count_ ? interaction_totals_[from] : 0.0;
 }
+
+SocialGraph::InteractionRow SocialGraph::interactions(
+    NodeId from) const noexcept {
+  if (from >= node_count_) return {};
+  const IntRow row = int_row(from);
+  return {{row.targets, row.size}, {row.counts, row.size}};
+}
+
+// --- derived structure -------------------------------------------------------
 
 std::vector<NodeId> SocialGraph::common_friends(NodeId a, NodeId b) const {
   std::vector<NodeId> result;
-  if (a >= adjacency_.size() || b >= adjacency_.size()) return result;
-  const auto& na = neighbor_ids_[a];
-  const auto& nb = neighbor_ids_[b];
-  std::set_intersection(na.begin(), na.end(), nb.begin(), nb.end(),
-                        std::back_inserter(result));
-  // a and b themselves are not "common friends" even if the graph contains
-  // a triangle through them.
-  std::erase(result, a);
-  std::erase(result, b);
+  if (a >= node_count_ || b >= node_count_) return result;
+  // Cache-linear merge over the two sorted CSR rows; a and b themselves
+  // are not "common friends" even if the graph contains a triangle
+  // through them.
+  const RelRow ra = rel_row(a);
+  const RelRow rb = rel_row(b);
+  const NodeId* pa = ra.targets;
+  const NodeId* ea = ra.targets + ra.size;
+  const NodeId* pb = rb.targets;
+  const NodeId* eb = rb.targets + rb.size;
+  while (pa != ea && pb != eb) {
+    if (*pa < *pb) {
+      ++pa;
+    } else if (*pb < *pa) {
+      ++pb;
+    } else {
+      if (*pa != a && *pa != b) result.push_back(*pa);
+      ++pa;
+      ++pb;
+    }
+  }
   return result;
 }
 
 namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ST_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define ST_PREFETCH(addr) ((void)0)
+#endif
 
 /// Reusable BFS workspace. A hop-capped BFS on a large graph spends a
 /// surprising share of its time on setup — an O(n) visited/parent fill
@@ -220,20 +429,38 @@ namespace {
 /// and the scratch never leaks into results: every BFS is still a pure
 /// function of (graph, a, b, max_hops).
 struct BfsScratch {
-  std::vector<NodeId> parent;
-  std::vector<std::uint64_t> stamp;
-  std::uint64_t epoch = 0;
+  /// Per-node word packing the visit stamp (low 32 bits) with the BFS
+  /// parent (high 32): testing "seen?" and recording the discovery are
+  /// one cache-line touch per node instead of two separate random
+  /// accesses into a stamp array and a parent array — the innermost
+  /// memory traffic of the whole traversal.
+  std::vector<std::uint64_t> node_state;
+  std::uint32_t epoch = 0;
   std::vector<NodeId> current;
   std::vector<NodeId> next;
+
+  bool seen(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(node_state[v]) == epoch;
+  }
+  void mark(NodeId v, NodeId parent) noexcept {
+    node_state[v] = epoch | (std::uint64_t{parent} << 32);
+  }
+  NodeId parent_of(NodeId v) const noexcept {
+    return static_cast<NodeId>(node_state[v] >> 32);
+  }
 };
 
 BfsScratch& bfs_scratch(std::size_t n) {
   thread_local BfsScratch scratch;
-  if (scratch.stamp.size() < n) {
-    scratch.parent.resize(n);
-    scratch.stamp.resize(n, 0);
+  if (scratch.node_state.size() < n) {
+    scratch.node_state.resize(n, 0);
   }
-  ++scratch.epoch;
+  if (++scratch.epoch == 0) {
+    // u32 stamp wrapped: stale words could alias the fresh epoch, so
+    // clear once per 2^32 traversals and restart above the zero-init.
+    std::fill(scratch.node_state.begin(), scratch.node_state.end(), 0);
+    scratch.epoch = 1;
+  }
   scratch.current.clear();
   scratch.next.clear();
   return scratch;
@@ -249,17 +476,44 @@ std::optional<std::size_t> SocialGraph::distance(
   // Level-synchronous BFS with a hop cap; the paper only ever needs
   // distances <= 4. Levels are expanded in the same FIFO order the
   // classic queue formulation uses, so the hop count found first is
-  // identical.
-  BfsScratch& s = bfs_scratch(adjacency_.size());
-  s.stamp[a] = s.epoch;
+  // identical. Each frontier node's neighbour row is one contiguous CSR
+  // slice, so the expansion is cache-linear; with no overlay rows live
+  // (the steady state after begin_interval()) rows come straight off the
+  // flat arrays, skipping the per-node overlay-routing probe.
+  BfsScratch& s = bfs_scratch(node_count_);
+  const bool pure_csr = rel_overlay_live_ == 0;
+  s.mark(a, a);
   s.current.push_back(a);
   for (std::size_t hops = 0; hops < max_hops && !s.current.empty(); ++hops) {
     s.next.clear();
-    for (NodeId node : s.current) {
-      for (NodeId next : neighbor_ids_[node]) {
-        if (s.stamp[next] == s.epoch) continue;
+    for (std::size_t idx = 0; idx < s.current.size(); ++idx) {
+      const NodeId node = s.current[idx];
+      // Hide the two random fetches each frontier node costs — its
+      // offsets entry and its target row — by issuing them a little
+      // ahead; visit order is untouched.
+      if (idx + 2 < s.current.size()) {
+        ST_PREFETCH(&rel_offsets_[s.current[idx + 2]]);
+      }
+      if (idx + 1 < s.current.size()) {
+        ST_PREFETCH(rel_targets_.data() + rel_offsets_[s.current[idx + 1]]);
+      }
+      const NodeId* targets;
+      std::size_t size;
+      if (pure_csr) {
+        const std::uint64_t begin = rel_offsets_[node];
+        targets = rel_targets_.data() + begin;
+        size = static_cast<std::size_t>(rel_offsets_[node + 1] - begin);
+      } else {
+        const RelRow row = rel_row(node);
+        targets = row.targets;
+        size = row.size;
+      }
+      for (std::size_t k = 0; k < size; ++k) {
+        if (k + 4 < size) ST_PREFETCH(&s.node_state[targets[k + 4]]);
+        const NodeId next = targets[k];
+        if (s.seen(next)) continue;
         if (next == b) return hops + 1;
-        s.stamp[next] = s.epoch;
+        s.mark(next, node);
         s.next.push_back(next);
       }
     }
@@ -278,21 +532,43 @@ std::optional<std::vector<NodeId>> SocialGraph::shortest_path(
   // path the queue-based BFS returned (discovery order is unchanged —
   // bottleneck closeness depends on the specific path, not just its
   // length, making that equivalence part of the bit-identity contract).
-  BfsScratch& s = bfs_scratch(adjacency_.size());
-  s.stamp[a] = s.epoch;
-  s.parent[a] = a;
+  BfsScratch& s = bfs_scratch(node_count_);
+  const bool pure_csr = rel_overlay_live_ == 0;
+  s.mark(a, a);
   s.current.push_back(a);
   for (std::size_t hops = 0; hops < max_hops && !s.current.empty(); ++hops) {
     s.next.clear();
-    for (NodeId node : s.current) {
-      for (NodeId next : neighbor_ids_[node]) {
-        if (s.stamp[next] == s.epoch) continue;
-        s.stamp[next] = s.epoch;
-        s.parent[next] = node;
+    for (std::size_t idx = 0; idx < s.current.size(); ++idx) {
+      const NodeId node = s.current[idx];
+      // Hide the two random fetches each frontier node costs — its
+      // offsets entry and its target row — by issuing them a little
+      // ahead; visit order is untouched.
+      if (idx + 2 < s.current.size()) {
+        ST_PREFETCH(&rel_offsets_[s.current[idx + 2]]);
+      }
+      if (idx + 1 < s.current.size()) {
+        ST_PREFETCH(rel_targets_.data() + rel_offsets_[s.current[idx + 1]]);
+      }
+      const NodeId* targets;
+      std::size_t size;
+      if (pure_csr) {
+        const std::uint64_t begin = rel_offsets_[node];
+        targets = rel_targets_.data() + begin;
+        size = static_cast<std::size_t>(rel_offsets_[node + 1] - begin);
+      } else {
+        const RelRow row = rel_row(node);
+        targets = row.targets;
+        size = row.size;
+      }
+      for (std::size_t k = 0; k < size; ++k) {
+        if (k + 4 < size) ST_PREFETCH(&s.node_state[targets[k + 4]]);
+        const NodeId next = targets[k];
+        if (s.seen(next)) continue;
+        s.mark(next, node);
         if (next == b) {
           std::vector<NodeId> path{b};
-          for (NodeId cur = b; cur != a; cur = s.parent[cur])
-            path.push_back(s.parent[cur]);
+          for (NodeId cur = b; cur != a; cur = s.parent_of(cur))
+            path.push_back(s.parent_of(cur));
           std::reverse(path.begin(), path.end());
           return path;
         }
@@ -306,41 +582,71 @@ std::optional<std::vector<NodeId>> SocialGraph::shortest_path(
 
 void SocialGraph::clear_node(NodeId node) {
   check_node(node);
-  // Drop all relationships (removing from both endpoints).
-  std::vector<NodeId> friends(neighbor_ids_[node].begin(),
-                              neighbor_ids_[node].end());
+  // Drop all relationships (removing from both endpoints). The friend
+  // list is copied first: remove_relationship may materialise overlays
+  // or trigger a compaction, either of which moves the row.
+  const RelRow row = rel_row(node);
+  const std::vector<NodeId> friends(row.targets, row.targets + row.size);
   for (NodeId other : friends) {
     for (std::size_t r = 0; r < kRelationshipCount; ++r) {
       remove_relationship(node, other, static_cast<Relationship>(r));
     }
   }
-  // Drop outgoing interactions.
-  if (!interactions_[node].empty()) {
-    interactions_[node].clear();
-    interaction_totals_[node] = 0.0;
-    bump_value(node);
+  // Drop outgoing interactions: zero the counts in place (zero and
+  // absent are indistinguishable through every accessor); the next
+  // rebuild reclaims the tombstones.
+  {
+    const IntRowMut mine = int_row_mut(node);
+    bool any = false;
+    for (std::size_t k = 0; k < mine.size; ++k) {
+      if (mine.counts[k] > 0.0) {
+        mine.counts[k] = 0.0;
+        ++int_tombstones_;
+        any = true;
+      }
+    }
+    if (any) {
+      interaction_totals_[node] = 0.0;
+      bump_value(node);
+    }
   }
   // Drop incoming interactions. f(from, node) is part of `from`'s state
   // (Eq. 2 normalises by from's totals), so each affected rater bumps.
-  for (NodeId from = 0; from < interactions_.size(); ++from) {
-    auto& row = interactions_[from];
-    auto it = std::lower_bound(
-        row.begin(), row.end(), node,
-        [](const std::pair<NodeId, double>& p, NodeId id) {
-          return p.first < id;
-        });
-    if (it != row.end() && it->first == node) {
-      interaction_totals_[from] -= it->second;
-      row.erase(it);
+  for (NodeId from = 0; from < node_count_; ++from) {
+    if (from == node) continue;
+    const IntRowMut row_from = int_row_mut(from);
+    const std::size_t idx = find_in(row_from.targets, row_from.size, node);
+    if (idx != static_cast<std::size_t>(-1) && row_from.counts[idx] > 0.0) {
+      interaction_totals_[from] -= row_from.counts[idx];
+      row_from.counts[idx] = 0.0;
+      ++int_tombstones_;
       bump_value(from);
     }
   }
+  maybe_rebuild();
 }
 
-std::size_t SocialGraph::edge_count() const noexcept {
-  std::size_t half_edges = 0;
-  for (const auto& edges : adjacency_) half_edges += edges.size();
-  return half_edges / 2;
+SocialGraph::MemoryFootprint SocialGraph::memory_footprint() const noexcept {
+  auto vec_bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  MemoryFootprint m;
+  m.adjacency_bytes =
+      vec_bytes(rel_offsets_) + vec_bytes(rel_targets_) + vec_bytes(rel_masks_);
+  m.interaction_bytes = vec_bytes(int_offsets_) + vec_bytes(int_targets_) +
+                        vec_bytes(int_counts_) + vec_bytes(interaction_totals_);
+  m.overlay_bytes =
+      vec_bytes(rel_overlay_slot_) + vec_bytes(int_overlay_slot_);
+  for (const RelOverlayRow& row : rel_overlay_) {
+    m.overlay_bytes += vec_bytes(row.targets) + vec_bytes(row.masks) +
+                       sizeof(RelOverlayRow);
+  }
+  for (const IntOverlayRow& row : int_overlay_) {
+    m.overlay_bytes += vec_bytes(row.targets) + vec_bytes(row.counts) +
+                       sizeof(IntOverlayRow);
+  }
+  m.revision_bytes = vec_bytes(revisions_) + vec_bytes(structure_revisions_);
+  return m;
 }
 
 }  // namespace st::graph

@@ -1,5 +1,5 @@
 #pragma once
-// Social-network substrate.
+// Social-network substrate on a compact, epoch-rebuilt CSR core.
 //
 // SocialTrust reads four things off the social network (paper Sections 3-4):
 //   1. adjacency + the *set of typed relationships* on each edge
@@ -9,11 +9,44 @@
 //   4. shortest social distance in hops (suspicious-behaviour B1, Fig. 3).
 // SocialGraph stores exactly that, nothing more: it is the "personal
 // network" of the Overstock analysis, decoupled from the P2P overlay.
+//
+// Storage layout (DESIGN.md §15, docs/ARCHITECTURE.md). Both the typed
+// adjacency and the directed interaction rows live in flat CSR arrays —
+// one offsets array indexed by node, plus parallel structure-of-arrays
+// payload slices (`targets` + `relationship mask` for adjacency,
+// `targets` + `double count` for interactions), each row sorted by
+// target id. Every closeness BFS, common-friend intersection and
+// dirty-pair scan therefore walks contiguous memory instead of chasing
+// one heap allocation per node. Mutations between rebuilds are absorbed
+// by a small per-node *delta overlay*: the first row-resizing mutation
+// of a node copies its CSR row into a private sorted overlay row and
+// the node reads from there until the next rebuild (mask flips and
+// count increments on existing entries edit the flat arrays in place —
+// no overlay needed). Once the delta mass (overlay entries + cleared
+// tombstones) crosses a deterministic threshold — or explicitly at
+// begin_interval() — the overlay is compacted back into fresh CSR
+// arrays by a single node-ordered sweep.
+//
+// Rebuilds are representation-only: every accessor reads rows through
+// the same sorted-row view before and after, so results are
+// bit-identical and no revision/epoch counter moves. Rebuild timing is
+// a pure function of the mutation sequence (the counters that trigger
+// it never depend on representation), so runs are reproducible.
+//
+// Span stability: neighbors() spans are invalidated by ANY mutating
+// method — not just mutations of the same node — because a mutation may
+// trigger a compaction that moves every row. Callers must not hold a
+// span across a non-const call (the pre-CSR contract was per-node; the
+// repo's call sites already satisfied the stronger rule).
 
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
+
+namespace st::obs {
+class Counter;
+}  // namespace st::obs
 
 namespace st::graph {
 
@@ -38,7 +71,7 @@ inline constexpr std::size_t kRelationshipCount = 6;
 double default_relationship_weight(Relationship r) noexcept;
 
 /// Undirected multigraph over a fixed node set with typed parallel edges
-/// and directed interaction counters.
+/// and directed interaction counters, on the CSR core described above.
 ///
 /// Node ids are dense indices [0, size()). The node count is fixed at
 /// construction — reputation experiments run on closed populations — but
@@ -47,14 +80,15 @@ class SocialGraph {
  public:
   /// Monotone change counter. Per-node revisions and global epochs never
   /// decrease and bump exactly when the corresponding state actually
-  /// changes (no-op mutator calls leave them untouched), so equality of a
-  /// revision witnessed at compute time with the current revision proves a
-  /// derived value would come out identical if re-derived.
+  /// changes (no-op mutator calls and representation rebuilds leave them
+  /// untouched), so equality of a revision witnessed at compute time with
+  /// the current revision proves a derived value would come out identical
+  /// if re-derived.
   using Revision = std::uint64_t;
 
   explicit SocialGraph(std::size_t node_count);
 
-  std::size_t size() const noexcept { return adjacency_.size(); }
+  std::size_t size() const noexcept { return node_count_; }
 
   /// Adds a typed relationship between a and b (undirected). Parallel
   /// relationships of distinct types accumulate on the same edge; adding a
@@ -81,7 +115,8 @@ class SocialGraph {
   /// 2^kRelationshipCount states, so derived quantities are tabulable).
   std::uint8_t relationship_mask(NodeId a, NodeId b) const noexcept;
 
-  /// Neighbour ids of `a` (ascending order).
+  /// Neighbour ids of `a` (ascending order). Invalidated by any mutating
+  /// method (see the span-stability note above).
   std::span<const NodeId> neighbors(NodeId a) const noexcept;
 
   std::size_t degree(NodeId a) const noexcept;
@@ -99,6 +134,16 @@ class SocialGraph {
   /// of Eq. (2).
   double total_interactions(NodeId from) const noexcept;
 
+  /// Directed interaction row of `from`: parallel spans of target ids
+  /// (ascending) and counts. Entries with zero count may appear (cleared
+  /// targets awaiting the next rebuild); callers treat them as absent.
+  /// Same span-stability contract as neighbors().
+  struct InteractionRow {
+    std::span<const NodeId> targets;
+    std::span<const double> counts;
+  };
+  InteractionRow interactions(NodeId from) const noexcept;
+
   /// Nodes appearing in both neighbour lists (the k of Eq. 3), ascending.
   std::vector<NodeId> common_friends(NodeId a, NodeId b) const;
 
@@ -114,13 +159,21 @@ class SocialGraph {
       NodeId a, NodeId b, std::size_t max_hops = 6) const;
 
   /// Total number of undirected edges (distinct adjacent pairs).
-  std::size_t edge_count() const noexcept;
+  std::size_t edge_count() const noexcept { return half_edges_ / 2; }
 
   /// Erases every trace of `node` from the graph — all its relationships
   /// and all interactions to and from it — as when a peer discards its
   /// identity (whitewashing). The node id itself remains valid (the node
   /// set is fixed) but is socially blank afterwards.
   void clear_node(NodeId node);
+
+  /// Interval hook: compacts any pending delta overlay (and interaction
+  /// tombstones) into fresh flat CSR arrays. Representation-only — no
+  /// accessor result and no revision counter changes — so callers may
+  /// invoke it at any quiescent point; the Simulator does so at the top
+  /// of every reputation-update interval so the parallel closeness
+  /// passes always read pure CSR rows. Invalidates outstanding spans.
+  void begin_interval();
 
   /// Revision of *all* social state owned by `node`: its neighbour list,
   /// edge types, and outgoing interaction row f(node, *). Bumped by every
@@ -154,25 +207,140 @@ class SocialGraph {
   /// pairs with per-node structure witnesses.
   Revision edge_addition_epoch() const noexcept { return addition_epoch_; }
 
+  // --- CSR maintenance diagnostics (tests, bench, docs) ---------------------
+
+  /// Compactions performed so far (adjacency + interaction rebuilds).
+  std::uint64_t rebuild_count() const noexcept { return rebuilds_; }
+
+  /// Current delta mass: overlay entries + materialised overlay rows +
+  /// interaction tombstones — the quantity the rebuild threshold watches.
+  std::size_t delta_mass() const noexcept {
+    return rel_overlay_entries_ + rel_overlay_live_ + int_overlay_entries_ +
+           int_overlay_live_ + int_tombstones_;
+  }
+
+  /// Heap bytes of the graph representation, split by component. Measures
+  /// vector capacities (allocated, not just used bytes); used by the
+  /// bench_csr_graph memory table and the README footprint numbers.
+  struct MemoryFootprint {
+    std::size_t adjacency_bytes = 0;     ///< CSR offsets + targets + masks
+    std::size_t interaction_bytes = 0;   ///< CSR offsets + targets + counts
+    std::size_t overlay_bytes = 0;       ///< delta rows awaiting compaction
+    std::size_t revision_bytes = 0;      ///< per-node revision counters
+    std::size_t total() const noexcept {
+      return adjacency_bytes + interaction_bytes + overlay_bytes +
+             revision_bytes;
+    }
+  };
+  MemoryFootprint memory_footprint() const noexcept;
+
+  /// Minimum delta mass before a mutator may compact. A rebuild also
+  /// requires delta mass * kRebuildFraction >= CSR entries + node count
+  /// (the node count being a proxy for the O(n) offset sweep a rebuild
+  /// pays regardless of edge count), so rebuild cost stays amortised
+  /// O(1) per mutation at every scale.
+  static constexpr std::size_t kRebuildMinDelta = 256;
+  static constexpr std::size_t kRebuildFraction = 4;
+
  private:
-  struct EdgeRecord {
-    NodeId to;
-    std::uint8_t relationship_mask;  // bit i set <=> Relationship(i) present
+  static constexpr std::uint32_t kNoOverlay = 0xFFFFFFFFU;
+
+  /// Materialised delta row for one node's adjacency: the CSR row copied
+  /// out, then mutated in place. SoA (targets/masks) so neighbors() can
+  /// return the target slice directly.
+  struct RelOverlayRow {
+    std::vector<NodeId> targets;
+    std::vector<std::uint8_t> masks;
+  };
+  /// Same, for one node's directed interaction row.
+  struct IntOverlayRow {
+    std::vector<NodeId> targets;
+    std::vector<double> counts;
   };
 
-  const EdgeRecord* find_edge(NodeId a, NodeId b) const noexcept;
-  EdgeRecord* find_edge(NodeId a, NodeId b) noexcept;
+  /// Read-only view of a node's adjacency row (CSR or overlay).
+  struct RelRow {
+    const NodeId* targets = nullptr;
+    const std::uint8_t* masks = nullptr;
+    std::size_t size = 0;
+  };
+  /// Mutable view of the same (masks editable in place).
+  struct RelRowMut {
+    const NodeId* targets = nullptr;
+    std::uint8_t* masks = nullptr;
+    std::size_t size = 0;
+  };
+  struct IntRow {
+    const NodeId* targets = nullptr;
+    const double* counts = nullptr;
+    std::size_t size = 0;
+  };
+  struct IntRowMut {
+    const NodeId* targets = nullptr;
+    double* counts = nullptr;
+    std::size_t size = 0;
+  };
+
+  RelRow rel_row(NodeId a) const noexcept;
+  RelRowMut rel_row_mut(NodeId a) noexcept;
+  IntRow int_row(NodeId a) const noexcept;
+  IntRowMut int_row_mut(NodeId a) noexcept;
+
+  /// Index of `b` in a's sorted row, or npos.
+  static std::size_t find_in(const NodeId* targets, std::size_t size,
+                             NodeId b) noexcept;
+
+  /// Copies a's CSR adjacency (resp. interaction) row into a fresh
+  /// overlay row and routes the node there. No-op if already routed.
+  RelOverlayRow& materialize_rel(NodeId a);
+  IntOverlayRow& materialize_int(NodeId a);
+
+  void maybe_rebuild() {
+    const std::size_t mass = delta_mass();
+    if (mass >= kRebuildMinDelta &&
+        mass * kRebuildFraction >=
+            rel_targets_.size() + int_targets_.size() + node_count_) {
+      rebuild();
+    }
+  }
+
+  /// Compacts both overlays into fresh CSR arrays (node-ordered sweep;
+  /// zero-count interaction entries are dropped). Representation-only.
+  void rebuild();
+
   void check_node(NodeId a) const;
   void bump_structure(NodeId a, NodeId b);
   void bump_value(NodeId a);
 
-  // adjacency_[a] sorted by `to`; neighbor_ids_[a] mirrors the `to` fields
-  // so neighbors() can return a span without allocation.
-  std::vector<std::vector<EdgeRecord>> adjacency_;
-  std::vector<std::vector<NodeId>> neighbor_ids_;
-  // interactions_[from] sorted by target id.
-  std::vector<std::vector<std::pair<NodeId, double>>> interactions_;
+  std::size_t node_count_ = 0;
+
+  // Adjacency CSR: row a is rel_targets_[rel_offsets_[a] ..
+  // rel_offsets_[a+1]) sorted ascending, rel_masks_ parallel.
+  std::vector<std::uint64_t> rel_offsets_;
+  std::vector<NodeId> rel_targets_;
+  std::vector<std::uint8_t> rel_masks_;
+  // Delta overlay: rel_overlay_slot_[a] routes a's reads/writes to
+  // rel_overlay_[slot] until the next rebuild.
+  std::vector<std::uint32_t> rel_overlay_slot_;
+  std::vector<RelOverlayRow> rel_overlay_;
+  std::size_t rel_overlay_entries_ = 0;  ///< half-edges living in overlay rows
+  std::size_t rel_overlay_live_ = 0;     ///< materialised overlay rows
+
+  // Interaction CSR (directed), same scheme; counts are mutable payload
+  // (+= edits the flat array in place). Cleared entries become 0-count
+  // tombstones until the next rebuild drops them.
+  std::vector<std::uint64_t> int_offsets_;
+  std::vector<NodeId> int_targets_;
+  std::vector<double> int_counts_;
+  std::vector<std::uint32_t> int_overlay_slot_;
+  std::vector<IntOverlayRow> int_overlay_;
+  std::size_t int_overlay_entries_ = 0;
+  std::size_t int_overlay_live_ = 0;
+  std::size_t int_tombstones_ = 0;
+
   std::vector<double> interaction_totals_;
+  std::size_t half_edges_ = 0;
+
   // Change tracking (see Revision). structure_revisions_[n] <= revisions_[n]
   // in bump count: every structural bump also bumps the full revision.
   std::vector<Revision> revisions_;
@@ -180,6 +348,13 @@ class SocialGraph {
   Revision epoch_ = 0;
   Revision structure_epoch_ = 0;
   Revision addition_epoch_ = 0;
+
+  std::uint64_t rebuilds_ = 0;
+
+  // Process-wide observability handles (docs/OBSERVABILITY.md), resolved
+  // once at construction; no-ops while the obs layer is disabled.
+  obs::Counter* obs_rebuilds_ = nullptr;
+  obs::Counter* obs_delta_edges_ = nullptr;
 };
 
 }  // namespace st::graph

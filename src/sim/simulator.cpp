@@ -363,6 +363,12 @@ RunResult Simulator::run() {
       }
     }
     ledger_.close_cycle();
+    // Compact any pending CSR deltas before the parallel reputation
+    // update so every closeness BFS and dirty-pair scan this interval
+    // walks pure flat rows. Representation-only: no revision moves, so
+    // the update pass sees bit-identical social state either way.
+    graph_.begin_interval();
+    profiles_.begin_interval();
     system_->update(ledger_.last_cycle());
     current_bar_ = selection_bar();
     record_cycle_metrics(result);

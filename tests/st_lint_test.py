@@ -168,6 +168,50 @@ double sum() {
 """)
         self.assert_clean(self.lint(f))
 
+    def test_det2_hash_order_csr_rebuild_fires(self) -> None:
+        # A CSR rebuild that walks an unordered_map of pending rows emits
+        # edges in hash order — the epoch snapshot then differs run to run.
+        f = self.write("src/graph/bad_rebuild.cpp", """
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+void rebuild(const std::unordered_map<std::uint32_t,
+                                      std::vector<std::uint32_t>>& delta,
+             std::vector<std::uint64_t>& offsets,
+             std::vector<std::uint32_t>& targets) {
+  offsets.clear();
+  targets.clear();
+  for (const auto& [node, row] : delta) {
+    offsets.push_back(targets.size());
+    targets.insert(targets.end(), row.begin(), row.end());
+  }
+  offsets.push_back(targets.size());
+}
+""")
+        self.assert_fires(self.lint(f), "DET-2")
+
+    def test_det2_node_ordered_csr_rebuild_passes(self) -> None:
+        # The shipped shape: sweep dense node ids in order, sort each row
+        # before emitting — deterministic regardless of mutation history.
+        f = self.write("src/graph/ok_rebuild.cpp", """
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+void rebuild(std::vector<std::vector<std::uint32_t>>& rows,
+             std::vector<std::uint64_t>& offsets,
+             std::vector<std::uint32_t>& targets) {
+  offsets.clear();
+  targets.clear();
+  for (std::size_t node = 0; node < rows.size(); ++node) {
+    std::sort(rows[node].begin(), rows[node].end());
+    offsets.push_back(targets.size());
+    targets.insert(targets.end(), rows[node].begin(), rows[node].end());
+  }
+  offsets.push_back(targets.size());
+}
+""")
+        self.assert_clean(self.lint(f))
+
     def test_det2_accumulate_over_begin(self) -> None:
         f = self.write("src/core/bad.cpp", """
 #include <numeric>

@@ -49,7 +49,8 @@ RULES = {
 # the prefix is also matched as an interior substring so layouts like
 # /tmp/xyz/src/core/f.cpp scope the same way.
 DET1_ALLOWED_PREFIXES = ("src/stats/rng.",)
-DET2_SCOPE_PREFIXES = ("src/core/", "src/reputation/", "src/sim/")
+DET2_SCOPE_PREFIXES = ("src/core/", "src/graph/", "src/reputation/",
+                       "src/sim/")
 CON1_ALLOWED_PREFIXES = ("src/util/thread_pool.",)
 CON2_ALLOWED_PREFIXES: tuple[str, ...] = ()
 OBS_SCOPE_PREFIXES = ("src/",)
