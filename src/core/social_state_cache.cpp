@@ -30,7 +30,7 @@ void SocialStateCache::begin_interval(std::size_t evict_after) {
   };
   for (std::size_t s = 0; s < kShards; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     // Evicted keys go to the erase log: the entries are valid right now,
     // but a consumer carrying their values would otherwise never hear
     // about a *later* state change (the revalidation sweep can only
@@ -82,7 +82,7 @@ std::vector<SocialStateCache::NodeId> SocialStateCache::common_cached(
   const Revision srev_hi = g.structure_revision(hi);
   bool stale = false;
   {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     auto it = shard.common_sets.find(key);
     if (it != shard.common_sets.end()) {
       if (it->second.srev_lo == srev_lo && it->second.srev_hi == srev_hi) {
@@ -103,7 +103,7 @@ std::vector<SocialStateCache::NodeId> SocialStateCache::common_cached(
   // same ascending set either direction was asked for.
   std::vector<NodeId> common = g.common_friends(lo, hi);
   {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     shard.common_sets[key] = CommonEntry{common, srev_lo, srev_hi};
   }
   return common;
@@ -116,7 +116,7 @@ std::vector<SocialStateCache::NodeId> SocialStateCache::path_cached(
   const Revision aepoch = g.edge_addition_epoch();
   bool stale = false;
   {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     auto it = shard.paths.find(key);
     if (it != shard.paths.end()) {
       const PathEntry& entry = it->second;
@@ -153,7 +153,7 @@ std::vector<SocialStateCache::NodeId> SocialStateCache::path_cached(
     }
   }
   {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     shard.paths[key] = PathEntry{path, aepoch, std::move(srevs)};
   }
   return path;
@@ -219,7 +219,7 @@ double SocialStateCache::closeness(const ClosenessModel& model,
   Shard& shard = shards_[shard_of(key)];
   bool stale = false;
   {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     auto it = shard.closeness.find(key);
     if (it != shard.closeness.end()) {
       if (it->second.validity.valid(g)) {
@@ -258,7 +258,7 @@ double SocialStateCache::closeness(const ClosenessModel& model,
     }
   }
   {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     if (tracking_) {
       shard.witness_refs.insert(shard.witness_refs.end(), new_refs.begin(),
                                 new_refs.end());
@@ -282,7 +282,7 @@ double SocialStateCache::similarity(const InterestProfiles& profiles, NodeId a,
   const Revision rev_hi = profiles.revision(hi);
   bool stale = false;
   {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     auto it = shard.similarity.find(key);
     if (it != shard.similarity.end()) {
       if (it->second.rev_lo == rev_lo && it->second.rev_hi == rev_hi) {
@@ -307,7 +307,7 @@ double SocialStateCache::similarity(const InterestProfiles& profiles, NodeId a,
   const double value = weighted ? profiles.weighted_similarity(lo, hi)
                                 : profiles.similarity(lo, hi);
   {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     if (tracking_) {
       // One ref per endpoint: whichever profile moves finds the entry.
       shard.sim_refs.emplace_back(lo, key);
@@ -328,7 +328,7 @@ void SocialStateCache::invalidate_node(NodeId node) {
   std::uint64_t erased = 0;
   for (std::size_t s = 0; s < kShards; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     erased += std::erase_if(shard.closeness, [&](const auto& kv) {
       if (!key_mentions(kv.first) && !kv.second.validity.mentions(node))
         return false;
@@ -360,7 +360,7 @@ void SocialStateCache::invalidate_node(NodeId node) {
 void SocialStateCache::clear() {
   for (std::size_t s = 0; s < kShards; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     if (tracking_) {
       // Value-entry removals must hit the erase log even on a wholesale
       // drop, else a consumer could keep carrying values whose later
@@ -480,7 +480,7 @@ SocialStateCache::DirtyKeys SocialStateCache::collect_dirty(
   std::vector<std::uint64_t> staged;
   for (std::size_t s = 0; s < kShards; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     out.closeness.insert(out.closeness.end(), shard.dirty_closeness.begin(),
                          shard.dirty_closeness.end());
     shard.dirty_closeness.clear();
@@ -587,7 +587,7 @@ SocialStateCache::DirtyKeys SocialStateCache::collect_dirty(
 std::size_t SocialStateCache::size() const {
   std::size_t total = 0;
   for (std::size_t s = 0; s < kShards; ++s) {
-    std::lock_guard lock(shards_[s].mutex);
+    util::MutexLock lock(shards_[s].mutex);
     total += shards_[s].closeness.size() + shards_[s].similarity.size();
   }
   return total;
@@ -596,7 +596,7 @@ std::size_t SocialStateCache::size() const {
 std::size_t SocialStateCache::structure_size() const {
   std::size_t total = 0;
   for (std::size_t s = 0; s < kShards; ++s) {
-    std::lock_guard lock(shards_[s].mutex);
+    util::MutexLock lock(shards_[s].mutex);
     total += shards_[s].common_sets.size() + shards_[s].paths.size();
   }
   return total;

@@ -103,7 +103,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -111,6 +110,7 @@
 #include "core/similarity.hpp"
 #include "graph/social_graph.hpp"
 #include "obs/obs.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace st::core {
 
@@ -293,22 +293,28 @@ class SocialStateCache {
   /// erase logs of the tracking contract above, guarded by the same
   /// mutex and drained (then sorted) by collect_dirty().
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, ClosenessEntry> closeness;
-    std::unordered_map<std::uint64_t, SimilarityEntry> similarity;
-    std::unordered_map<std::uint64_t, CommonEntry> common_sets;
-    std::unordered_map<std::uint64_t, PathEntry> paths;
-    std::vector<std::uint64_t> dirty_closeness;
-    std::vector<std::uint64_t> dirty_similarity;
+    mutable util::Mutex mutex;
+    std::unordered_map<std::uint64_t, ClosenessEntry> closeness
+        ST_GUARDED_BY(mutex);
+    std::unordered_map<std::uint64_t, SimilarityEntry> similarity
+        ST_GUARDED_BY(mutex);
+    std::unordered_map<std::uint64_t, CommonEntry> common_sets
+        ST_GUARDED_BY(mutex);
+    std::unordered_map<std::uint64_t, PathEntry> paths
+        ST_GUARDED_BY(mutex);
+    std::vector<std::uint64_t> dirty_closeness ST_GUARDED_BY(mutex);
+    std::vector<std::uint64_t> dirty_similarity ST_GUARDED_BY(mutex);
     // Witness index of the tracking contract (kept only while tracking_):
     // one (witness node, key) ref per witness of each stored closeness
     // entry, one (endpoint, key) ref per side of each similarity entry,
     // and the keys of epoch-gated closeness entries. Append-only between
     // sweeps; collect_dirty() prunes refs it visits and compacts
     // wholesale when stale refs dominate.
-    std::vector<std::pair<NodeId, std::uint64_t>> witness_refs;
-    std::vector<std::pair<NodeId, std::uint64_t>> sim_refs;
-    std::vector<std::uint64_t> gated_closeness;
+    std::vector<std::pair<NodeId, std::uint64_t>> witness_refs
+        ST_GUARDED_BY(mutex);
+    std::vector<std::pair<NodeId, std::uint64_t>> sim_refs
+        ST_GUARDED_BY(mutex);
+    std::vector<std::uint64_t> gated_closeness ST_GUARDED_BY(mutex);
   };
 
   /// Fibonacci-hash mix before the mask so consecutive rater ids — the
@@ -336,8 +342,10 @@ class SocialStateCache {
   /// Rebuild a shard's closeness witness/gate index (resp. similarity
   /// endpoint index) from its live entries once stale refs dominate.
   /// Caller holds the shard lock.
-  static void compact_closeness_index(Shard& shard);
-  static void compact_similarity_index(Shard& shard);
+  static void compact_closeness_index(Shard& shard)
+      ST_REQUIRES(shard.mutex);
+  static void compact_similarity_index(Shard& shard)
+      ST_REQUIRES(shard.mutex);
 
   std::unique_ptr<Shard[]> shards_;
 

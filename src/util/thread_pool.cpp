@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -34,7 +34,11 @@ void ThreadPool::shutdown() {
   }
 }
 
-void ThreadPool::worker_loop() {
+// NO_THREAD_SAFETY_ANALYSIS: the wait loop holds mutex_ through
+// std::unique_lock<Mutex> (condition_variable_any needs a re-lockable
+// guard, which the scoped MutexLock deliberately is not), and clang
+// cannot see capability state through the unannotated std::unique_lock.
+void ThreadPool::worker_loop() ST_NO_THREAD_SAFETY_ANALYSIS {
   for (;;) {
     std::function<void()> task;
     {

@@ -23,13 +23,13 @@
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace st::util {
 
@@ -59,7 +59,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_)
         throw std::runtime_error("ThreadPool: submit after shutdown");
       tasks_.emplace([task] { (*task)(); });
@@ -124,10 +124,12 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ ST_GUARDED_BY(mutex_);
+  // condition_variable_any: the plain std::condition_variable only waits
+  // on std::unique_lock<std::mutex>, and mutex_ is the annotated wrapper.
+  std::condition_variable_any cv_;
+  bool stopping_ ST_GUARDED_BY(mutex_) = false;
 
   // Observability handles (process-wide metrics, shared by every pool in
   // the process; resolved once in the constructor, no-ops while the obs

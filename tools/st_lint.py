@@ -16,6 +16,13 @@ can never fire a rule, iterated identifiers resolve to their nearest
 declaration instead of a file-global name set, and rules can read
 string literals (OBS-1 checks the metric-name literal itself).
 
+v3 adds the whole-program layer: every run distils each file into a
+fact record (functions, calls, writes, locks, class fields — index.py),
+resolves call edges across translation units (callgraph.py), and runs
+four inter-procedural rule families on the resulting graph. Facts are
+cached content-hash-keyed in ``--index-cache`` JSON, so warm re-lints
+re-lex only changed files.
+
 Rule catalogue (python3 tools/st_lint.py --list-rules, rationale and
 etiquette in docs/STATIC_ANALYSIS.md):
 
@@ -25,15 +32,25 @@ etiquette in docs/STATIC_ANALYSIS.md):
           flatten-then-sort idiom is recognised and exempt)
   DET-3   accessors returning references/iterators into unordered
           containers, iterated at the call site
+  DET-4   (whole-program) hash-order iteration feeding an accumulation
+          or ordering sink where the unordered accessor is defined in
+          another translation unit; pointer-keyed ordered containers
   CON-1   naked std::thread / detach() outside src/util/thread_pool.*
   CON-2   raw new/delete/malloc
+  CON-3   (whole-program) writes to shared non-atomic state from code
+          reachable from a parallel_for / ThreadPool::submit body,
+          without a held lock
   LOCK-1  second mutex acquired while one is held in the same scope
   LOCK-2  manual .lock()/.unlock() instead of an RAII guard
   LOCK-3  expensive work (recompute/BFS calls, allocating loops) inside
           a lock scope
+  LOCK-4  (whole-program) lock-order cycles across function boundaries,
+          reported with both acquisition chains
   OBS-1   metric names: snake_case, globally unique, documented in
           docs/OBSERVABILITY.md
   OBS-2   documented metrics that no longer exist in code
+  API-2   (whole-program) SocialGraph/InterestProfiles mutation paths
+          must bump a revision; rebuild() must not call accessors
   HYG-1   every src/ .cpp includes its own header first
   HYG-2   no using namespace at namespace scope in headers
   SUP-1   (--strict) every suppression names its rule and a reason
@@ -44,11 +61,15 @@ offending line, or place the comment alone on the line directly above
 it. The reason is mandatory under ``--strict``.
 
 Usage:
-    python3 tools/st_lint.py [--strict] [--json] [--list-rules] [path ...]
+    python3 tools/st_lint.py [--strict] [--json] [--sarif]
+        [--list-rules] [--index-cache PATH] [--changed-only] [path ...]
 
 Paths default to ``src bench tests examples`` relative to the repo
 root; a path may be a directory (scanned recursively for C++ sources)
-or a file.
+or a file. ``--changed-only`` restricts per-file rules to files changed
+vs merge-base(HEAD, origin/main) while the index — and therefore every
+whole-program rule — still sees the full tree (tools/pre-commit wires
+this into a git hook).
 
 Exit status: 0 when the tree is clean, 1 when findings (or, under
 ``--strict``, suppression-hygiene/budget violations) were reported, 2 on

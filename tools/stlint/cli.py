@@ -6,23 +6,38 @@ output formats are the stable interface (docs/STATIC_ANALYSIS.md):
   exit 0  clean tree
   exit 1  findings (or, under --strict, suppression/budget violations)
   exit 2  usage errors (missing paths)
+
+v3 adds the whole-program layer: every run builds the project index
+(symbols + call-graph facts) over *all* scanned files and runs the
+inter-procedural families (CON-3/LOCK-4/DET-4/API-2) on it. With
+``--index-cache PATH`` the facts and per-file findings are served from a
+content-hash-keyed JSON cache, so a warm re-lint after touching one file
+re-lexes only that file. ``--changed-only`` narrows the per-file rules
+to files changed vs the merge base while the index (and therefore the
+cross-file rules) stays whole-program. ``--sarif`` emits SARIF 2.1.0
+for CI upload.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
+from .callgraph import CallGraph
 from .core import (CXX_SUFFIXES, DEFAULT_PATHS, EXCLUDED_DIR_NAMES,
-                   REPO_ROOT, RULES, Context, Finding, SourceFile,
-                   load_file, rel_path)
-from .rules import concurrency, determinism, hygiene, obs_docs
+                   HEADER_SUFFIXES, REPO_ROOT, RULES, Context, Finding,
+                   SourceFile, load_file, rel_path)
+from .index import (IndexCache, ProjectIndex, alias_fingerprint,
+                    build_facts, content_hash)
+from .rules import concurrency, determinism, hygiene, interproc, obs_docs
 from .scopes import collect_aliases
 
 DEFAULT_BUDGET = REPO_ROOT / "tools" / "lint_budget.json"
 DEFAULT_OBS_DOC = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+DEFAULT_INDEX_CACHE = REPO_ROOT / "build" / "stlint_index.json"
 
 
 def gather_files(paths: list[Path]) -> list[Path]:
@@ -40,7 +55,7 @@ def gather_files(paths: list[Path]) -> list[Path]:
     return files
 
 
-def check_budget(budget_path: Path, files: list[SourceFile],
+def check_budget(budget_path: Path, allow_sites: int,
                  findings: list[Finding]) -> None:
     """SUP-2: the checked-in allow() budget. Growing the count without a
     deliberate budget bump fails --strict lint."""
@@ -53,37 +68,165 @@ def check_budget(budget_path: Path, files: list[SourceFile],
         findings.append(Finding(rel_path(budget_path), 1, "SUP-2",
                                 f"unreadable budget file: {err}"))
         return
-    total = sum(sf.allow_sites for sf in files)
-    if total > budget:
+    if allow_sites > budget:
         findings.append(Finding(
             rel_path(budget_path), 1, "SUP-2",
-            f"{total} st-lint allow() site(s) in the scanned tree exceed "
-            f"the budget of {budget}; remove a suppression, or bump "
+            f"{allow_sites} st-lint allow() site(s) in the scanned tree "
+            f"exceed the budget of {budget}; remove a suppression, or bump "
             f"max_allow_sites in the same change that justifies the new "
             f"one"))
 
 
+def _own_header_text(path: Path) -> str | None:
+    if path.suffix not in {".cpp", ".cc", ".cxx"}:
+        return None
+    for suffix in HEADER_SUFFIXES:
+        candidate = path.with_suffix(suffix)
+        if candidate.exists():
+            return candidate.read_text(encoding="utf-8", errors="replace")
+    return None
+
+
 def run(paths: list[Path], strict: bool, obs_doc: Path | None = None,
-        budget: Path | None = None) -> tuple[list[Finding], int, int]:
-    sources = [load_file(p) for p in gather_files(paths)]
+        budget: Path | None = None, index_cache: Path | None = None,
+        changed_only: set[str] | None = None,
+        ) -> tuple[list[Finding], int, int]:
+    """Lint ``paths``. ``changed_only``: repo-relative posix paths whose
+    per-file rules should run (the index stays whole-program regardless).
+    ``index_cache``: JSON cache path (None = no persistence)."""
+    file_paths = gather_files(paths)
+    cache = IndexCache.load(index_cache) if index_cache is not None \
+        and index_cache.exists() else IndexCache(path=index_cache)
+
+    loaded: dict[str, SourceFile] = {}
+    hashes: dict[str, str] = {}
+    rels: list[str] = []
+    by_rel_path: dict[str, Path] = {}
+
+    def source(rel: str) -> SourceFile:
+        if rel not in loaded:
+            loaded[rel] = load_file(by_rel_path[rel])
+        return loaded[rel]
+
+    # Stage A: hashes + per-file alias sets (cached by content hash alone).
+    per_file_aliases: dict[str, set[str]] = {}
+    for p in file_paths:
+        rel = rel_path(p)
+        if rel in hashes:
+            continue  # duplicate path on the command line
+        rels.append(rel)
+        by_rel_path[rel] = p
+        text = p.read_text(encoding="utf-8", errors="replace")
+        hashes[rel] = content_hash(text)
+        cached = cache.aliases_for(rel, hashes[rel])
+        per_file_aliases[rel] = set(cached) if cached is not None \
+            else collect_aliases(source(rel).code)
     aliases: set[str] = set()
-    for sf in sources:
-        aliases |= collect_aliases(sf.code)
-    ctx = Context(files=sources, aliases=aliases, obs_doc=obs_doc,
-                  by_path={sf.path.resolve(): sf for sf in sources})
+    for s in per_file_aliases.values():
+        aliases |= s
+    alias_fp = alias_fingerprint(aliases)
+
+    # Stage B: facts (cached by content hash + alias fingerprint).
+    index = ProjectIndex()
+    for rel in rels:
+        facts = cache.facts_for(rel, hashes[rel], alias_fp)
+        if facts is None:
+            facts = build_facts(source(rel), aliases)
+            cache.store(rel, hashes[rel], facts, alias_fp)
+        index.add_file(rel, facts)
+    index.finalize()
+    graph = CallGraph(index)
+
+    # Stage C: per-file rules (cached by content + own-header + aliases).
+    ctx = Context(files=[], aliases=aliases, obs_doc=obs_doc)
     findings: list[Finding] = []
-    for sf in sources:
-        determinism.check(sf, ctx, findings)
-        concurrency.check(sf, ctx, findings)
-        hygiene.check(sf, ctx, findings)
+    targets = [rel for rel in rels
+               if changed_only is None or rel in changed_only]
+    for rel in targets:
+        header_text = _own_header_text(by_rel_path[rel])
+        header_hash = content_hash(header_text) if header_text is not None \
+            else ""
+        cached = cache.findings_for(rel, hashes[rel], header_hash, alias_fp)
+        if cached is not None:
+            per_file = [Finding(**f) for f in cached]
+        else:
+            sf = source(rel)
+            per_file = []
+            determinism.check(sf, ctx, per_file)
+            concurrency.check(sf, ctx, per_file)
+            hygiene.check(sf, ctx, per_file)
+            cache.store_findings(rel, header_hash, alias_fp,
+                                 [vars(f) for f in per_file])
+        findings.extend(per_file)
         if strict:
-            findings.extend(sf.bad_suppressions)
-    obs_docs.check_tree(ctx, findings)
+            findings.extend(Finding(**f) for f in
+                            index.files[rel].get("bad_suppressions", []))
+
+    # Stage D: whole-program rules from facts (cheap, never cached).
+    interproc.check(index, graph, findings)
+    obs_docs.check_tree_facts(index, obs_doc, findings)
+    allow_sites = sum(index.files[rel].get("allow_sites", 0)
+                      for rel in rels)
     if strict and budget is not None:
-        check_budget(budget, sources, findings)
+        check_budget(budget, allow_sites, findings)
+
+    if changed_only is not None:
+        findings = [f for f in findings
+                    if f.path in changed_only or f.rule == "SUP-2"
+                    or f.rule == "OBS-2"]
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    allow_sites = sum(sf.allow_sites for sf in sources)
-    return findings, len(sources), allow_sites
+    cache.prune(set(rels))
+    cache.save()
+    return findings, len(rels), allow_sites
+
+
+def changed_files(merge_ref: str = "origin/main") -> set[str]:
+    """Repo-relative posix paths changed vs the merge base (plus any
+    uncommitted/untracked files). Falls back to HEAD when the ref does
+    not exist (e.g. no origin remote)."""
+    def git(*args: str) -> str:
+        try:
+            return subprocess.run(
+                ["git", "-C", str(REPO_ROOT), *args],
+                capture_output=True, text=True, check=False).stdout
+        except OSError:
+            return ""
+
+    base = git("merge-base", "HEAD", merge_ref).strip()
+    if not base:
+        base = "HEAD"
+    names = git("diff", "--name-only", base).splitlines()
+    names += git("ls-files", "--others", "--exclude-standard").splitlines()
+    return {n.strip() for n in names if n.strip()}
+
+
+def to_sarif(findings: list[Finding]) -> dict:
+    """SARIF 2.1.0 document for github/codeql-action/upload-sarif."""
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "st-lint",
+                "informationUri":
+                    "https://github.com/socialtrust/socialtrust",
+                "rules": [{"id": rule,
+                           "shortDescription": {"text": text}}
+                          for rule, text in sorted(RULES.items())],
+            }},
+            "results": [{
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {"uri": f.path,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": max(1, f.line)},
+                }}],
+            } for f in findings],
+        }],
+    }
 
 
 def main(argv: list[str]) -> int:
@@ -98,6 +241,8 @@ def main(argv: list[str]) -> int:
                              "the allow() budget (SUP-2)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit findings as JSON on stdout")
+    parser.add_argument("--sarif", action="store_true",
+                        help="emit findings as SARIF 2.1.0 on stdout")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--obs-doc", metavar="PATH", default=None,
@@ -107,6 +252,14 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--budget", metavar="PATH", default=None,
                         help="allow() budget file for SUP-2 "
                              "(default: tools/lint_budget.json)")
+    parser.add_argument("--index-cache", metavar="PATH", default=None,
+                        help="persist the whole-program symbol index to "
+                             "PATH (default: off; CI and the ctest "
+                             "selfcheck pass build/stlint_index.json)")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="run per-file rules only on files changed vs "
+                             "merge-base(HEAD, origin/main); the index and "
+                             "cross-file rules stay whole-program")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -128,15 +281,20 @@ def main(argv: list[str]) -> int:
         obs_doc = DEFAULT_OBS_DOC if covers_src else None
 
     budget = Path(args.budget) if args.budget is not None else DEFAULT_BUDGET
+    index_cache = Path(args.index_cache) if args.index_cache else None
+    changed = changed_files() if args.changed_only else None
 
     try:
         findings, file_count, allow_sites = run(
-            input_paths, args.strict, obs_doc=obs_doc, budget=budget)
+            input_paths, args.strict, obs_doc=obs_doc, budget=budget,
+            index_cache=index_cache, changed_only=changed)
     except FileNotFoundError as err:
         print(err, file=sys.stderr)
         return 2
 
-    if args.as_json:
+    if args.sarif:
+        print(json.dumps(to_sarif(findings), indent=2))
+    elif args.as_json:
         print(json.dumps({
             "files_scanned": file_count,
             "allow_sites": allow_sites,

@@ -28,12 +28,23 @@ RULES = {
              "an unordered container in a determinism-critical directory",
     "DET-3": "iterating a function that returns a reference/iterator into "
              "an unordered container (the accessor escape hatch)",
+    "DET-4": "whole-program determinism taint: a cross-TU unordered "
+             "accessor or address-keyed container feeding a float "
+             "accumulation or ordered output",
     "CON-1": "naked std::thread / detach() outside src/util/thread_pool.*",
     "CON-2": "raw new/delete/malloc outside allow-listed files",
+    "CON-3": "write to non-local, non-atomic state from the worker "
+             "context (reachable from a parallel_for/submit body) "
+             "without a held lock",
     "LOCK-1": "second mutex acquired while one is held in the same scope",
     "LOCK-2": "manual .lock()/.unlock() instead of an RAII guard",
     "LOCK-3": "expensive work (BFS/recompute calls, allocating loops) "
               "inside a lock scope",
+    "LOCK-4": "lock-order cycle in the whole-program acquisition graph "
+              "(lifted across function boundaries)",
+    "API-2": "SocialGraph/InterestProfiles mutation path that never "
+             "reaches a revision bump, or an accessor callable from "
+             "inside rebuild()",
     "OBS-1": "metric name not snake_case, not unique, or missing from "
              "docs/OBSERVABILITY.md",
     "OBS-2": "metric documented in docs/OBSERVABILITY.md but registered "
@@ -53,6 +64,9 @@ DET2_SCOPE_PREFIXES = ("src/core/", "src/graph/", "src/reputation/",
                        "src/sim/")
 CON1_ALLOWED_PREFIXES = ("src/util/thread_pool.",)
 CON2_ALLOWED_PREFIXES: tuple[str, ...] = ()
+# The annotated Mutex wrapper implements RAII guards, so its internals
+# necessarily spell .lock()/.unlock(); everything else stays RAII-only.
+LOCK2_ALLOWED_PREFIXES = ("src/util/thread_annotations.",)
 OBS_SCOPE_PREFIXES = ("src/",)
 
 ALLOW_RE = re.compile(r"//\s*st-lint:\s*allow\(\s*([A-Za-z]+-?\d*)\s*([^)]*)\)")

@@ -21,13 +21,16 @@ one shard lock at a time, values computed outside the critical section):
 
 from __future__ import annotations
 
-from ..core import (CON1_ALLOWED_PREFIXES, CON2_ALLOWED_PREFIXES, Context,
-                    Finding, SourceFile, emit, in_scope)
+from ..core import (CON1_ALLOWED_PREFIXES, CON2_ALLOWED_PREFIXES,
+                    LOCK2_ALLOWED_PREFIXES, Context, Finding, SourceFile,
+                    emit, in_scope)
 from ..lexer import Token
 from ..scopes import Scope, match_forward, skip_template
 
+# MutexLock is the project's annotated RAII guard over st::util::Mutex
+# (src/util/thread_annotations.hpp) — a guard type for every LOCK rule.
 LOCK_GUARD_TYPES = {"lock_guard", "unique_lock", "scoped_lock",
-                    "shared_lock"}
+                    "shared_lock", "MutexLock"}
 MANUAL_LOCK_CALLS = {"lock", "unlock", "try_lock", "try_lock_for",
                      "try_lock_until"}
 # The recompute/BFS surface that must never run under a shard lock
@@ -143,6 +146,8 @@ def _check_lock1(sf: SourceFile, sites, findings: list[Finding]) -> None:
 
 
 def _check_lock2(sf: SourceFile, findings: list[Finding]) -> None:
+    if in_scope(sf.rel, LOCK2_ALLOWED_PREFIXES):
+        return
     code = sf.code
     n = len(code)
     for i, t in enumerate(code):

@@ -74,6 +74,54 @@ def parse_doc(path) -> list[tuple[int, str]]:
     return names
 
 
+def check_tree_facts(index, obs_doc, findings: list[Finding]) -> None:
+    """check_tree over ProjectIndex facts instead of token streams, so
+    cached files never need re-lexing for the code<->docs diff."""
+    if obs_doc is None:
+        return
+    regs: list[tuple[str, int, str]] = []
+    for rel in sorted(index.files):
+        if not in_scope(rel, OBS_SCOPE_PREFIXES):
+            continue
+        for line, name in index.files[rel].get("registrations", []):
+            regs.append((rel, line, name))
+    doc_exists = obs_doc.exists()
+    doc_rel = rel_path(obs_doc)
+    doc_names = parse_doc(obs_doc) if doc_exists else []
+    documented = {name for _, name in doc_names}
+
+    def emit_fact(rel: str, line: int, message: str) -> None:
+        if not index.suppressed(rel, line, "OBS-1"):
+            findings.append(Finding(rel, line, "OBS-1", message))
+
+    first_site: dict[str, tuple[str, int]] = {}
+    for rel, line, name in regs:
+        if not SNAKE_RE.match(name):
+            emit_fact(rel, line,
+                      f"metric name '{name}' is not dot-separated "
+                      f"snake_case")
+        if name in first_site:
+            prev_rel, prev_line = first_site[name]
+            emit_fact(rel, line,
+                      f"metric '{name}' already registered at "
+                      f"{prev_rel}:{prev_line}; resolve each metric handle "
+                      f"at exactly one site and pass the handle around")
+        else:
+            first_site[name] = (rel, line)
+        if doc_exists and name not in documented:
+            emit_fact(rel, line,
+                      f"metric '{name}' is not documented in {doc_rel}; "
+                      f"add a row to the Metric reference table")
+    registered = {name for _, _, name in regs}
+    for line, name in doc_names:
+        if name not in registered:
+            findings.append(Finding(
+                doc_rel, line, "OBS-2",
+                f"metric '{name}' is documented but registered nowhere in "
+                f"the scanned src/ tree; remove the row or restore the "
+                f"metric"))
+
+
 def check_tree(ctx: Context, findings: list[Finding]) -> None:
     if ctx.obs_doc is None:
         return
