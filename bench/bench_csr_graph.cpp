@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "core/closeness.hpp"
 #include "graph/generators.hpp"
 #include "graph/reference_graph.hpp"
@@ -137,13 +138,15 @@ double ms_between(std::chrono::steady_clock::time_point start,
 
 int main(int argc, char** argv) {
   st::util::CliArgs args(argc, argv);
-  const bool quick = args.has("quick");
+  const st::bench::CommonFlags common =
+      st::bench::parse_common_flags(args, "1", nullptr, 3, 1);
+  const bool quick = common.quick;
   const auto nodes =
       static_cast<std::size_t>(args.get_int("nodes", quick ? 4000 : 100000));
   const auto samples =
       static_cast<std::size_t>(args.get_int("samples", quick ? 4000 : 24000));
-  const auto reps = static_cast<std::size_t>(args.get_int("reps", quick ? 1 : 3));
-  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::size_t reps = common.reps;
+  const std::uint64_t seed = common.seed;
 
   // --- build the network once, store it both ways --------------------------
   st::stats::Rng rng(seed);

@@ -54,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "core/socialtrust.hpp"
 #include "graph/generators.hpp"
 #include "reputation/ebay.hpp"
@@ -217,20 +218,6 @@ std::size_t apply_rel_churn(Workload& w, st::stats::Rng& rng, double pct) {
   return distinct;
 }
 
-std::vector<std::size_t> parse_list(const std::string& csv) {
-  std::vector<std::size_t> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    char* end = nullptr;
-    auto v = std::strtoull(item.c_str(), &end, 10);
-    if (end != item.c_str() && v > 0) {
-      out.push_back(static_cast<std::size_t>(v));
-    }
-  }
-  return out;
-}
-
 /// Bit-for-bit identity of what the determinism contract covers: the
 /// adjusted rating stream and the wrapped system's reputations.
 bool outputs_identical(const SocialTrustPlugin& a,
@@ -350,20 +337,20 @@ Row run_sequence(std::size_t n, std::size_t threads, std::size_t intervals,
 
 int main(int argc, char** argv) {
   st::util::CliArgs args(argc, argv);
-  const bool quick = args.has("quick");
-  auto node_counts =
-      parse_list(args.get_or("nodes", quick ? "1000" : "1000,10000"));
-  auto thread_counts =
-      parse_list(args.get_or("threads", quick ? "1,2" : "1,4"));
+  const st::bench::CommonFlags common =
+      st::bench::parse_common_flags(args, "1,4", "1,2", 2, 1);
+  const bool quick = common.quick;
+  auto node_counts = st::bench::parse_size_list(
+      args.get_or("nodes", quick ? "1000" : "1000,10000"));
+  const auto& thread_counts = common.threads;
   const auto intervals = static_cast<std::size_t>(
       args.get_int("intervals", quick ? 4 : 8));
-  const auto reps =
-      static_cast<std::size_t>(args.get_int("reps", quick ? 1 : 2));
+  const std::size_t reps = common.reps;
   const double churn_pct =
       static_cast<double>(args.get_int("churn", 8));
   const double rel_churn_pct =
       static_cast<double>(args.get_int("rel-churn", 0));
-  const std::uint64_t seed = args.get_u64("seed", 42);
+  const std::uint64_t seed = common.seed;
 
   std::cout << "=== bench_incremental_closeness ===\n"
             << "(warm = persistent SocialStateCache, cold = cache wiped "

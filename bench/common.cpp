@@ -1,16 +1,53 @@
 #include "common.hpp"
 
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 namespace st::bench {
 
+std::vector<std::size_t> parse_size_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    char* end = nullptr;
+    const auto v = std::strtoull(item.c_str(), &end, 10);
+    if (end != item.c_str() && v > 0) {
+      out.push_back(static_cast<std::size_t>(v));
+    }
+  }
+  return out;
+}
+
+CommonFlags parse_common_flags(const util::CliArgs& args,
+                               const char* default_threads,
+                               const char* quick_threads,
+                               std::size_t default_reps,
+                               std::size_t quick_reps) {
+  CommonFlags flags;
+  flags.quick = args.has("quick");
+  flags.seed = args.get_u64("seed", 42);
+  const char* threads_default =
+      flags.quick && quick_threads ? quick_threads : default_threads;
+  flags.threads = parse_size_list(args.get_or("threads", threads_default));
+  if (flags.threads.empty()) flags.threads.push_back(1);
+  flags.reps = static_cast<std::size_t>(
+      args.get_int("reps", static_cast<std::int64_t>(
+                               flags.quick ? quick_reps : default_reps)));
+  flags.obs_out = args.get_or("obs-out", "");
+  flags.obs = args.has("obs") || !flags.obs_out.empty();
+  return flags;
+}
+
 Context::Context(int argc, char** argv, std::string bench_name)
     : args_(argc, argv), bench_name_(std::move(bench_name)) {
-  seed_ = args_.get_u64("seed", 42);
-  bool quick = args_.has("quick");
+  const CommonFlags flags = parse_common_flags(args_);
+  seed_ = flags.seed;
+  bool quick = flags.quick;
   runs_ = static_cast<std::size_t>(args_.get_int("runs", quick ? 2 : 5));
   cycles_ = static_cast<std::size_t>(args_.get_int("cycles", quick ? 20 : 50));
-  threads_ = static_cast<std::size_t>(args_.get_int("threads", 1));
+  threads_ = flags.threads.front();
   auto csv = args_.get("csv");
   if (csv && !csv->empty()) csv_dir_ = *csv;
   auto obs = sim::apply_observability_flags(args_);

@@ -18,9 +18,11 @@
 //   --obs-out <p>   as --obs, streaming interval events to <p> as JSONL
 //                   (implies --obs; see docs/OBSERVABILITY.md)
 
+#include <cstdint>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "collusion/models.hpp"
 #include "sim/experiment.hpp"
@@ -32,6 +34,40 @@
 #include "util/table.hpp"
 
 namespace st::bench {
+
+/// The flag vocabulary every bench binary shares, parsed in one place so
+/// the figure drivers (via Context) and the standalone perf benches
+/// (bench_parallel_update, bench_incremental_closeness, bench_csr_graph,
+/// bench_sharded_aggregation) agree on spelling and defaults:
+///   --seed <u64>      base RNG seed                        (default 42)
+///   --quick           reduced scale for smoke runs
+///   --threads <list>  comma-separated worker counts; single values parse
+///                     to a one-element list
+///   --reps <n>        timed repetitions (min is kept)
+///   --obs             enable the metrics/tracing layer
+///   --obs-out <path>  as --obs, streaming interval events as JSONL
+struct CommonFlags {
+  std::uint64_t seed = 42;
+  bool quick = false;
+  std::vector<std::size_t> threads;
+  std::size_t reps = 0;
+  bool obs = false;
+  std::string obs_out;  ///< empty unless --obs-out was given
+};
+
+/// Comma-separated positive integers ("1,2,8"); unparsable or
+/// non-positive tokens are skipped, in line with the forgiving strtoll
+/// behaviour of util::CliArgs.
+std::vector<std::size_t> parse_size_list(const std::string& csv);
+
+/// Parses the shared flags above. `default_threads` / `quick_threads`
+/// are the --threads csv defaults at full and --quick scale
+/// (quick_threads null = same as full); reps likewise.
+CommonFlags parse_common_flags(const util::CliArgs& args,
+                               const char* default_threads = "1",
+                               const char* quick_threads = nullptr,
+                               std::size_t default_reps = 3,
+                               std::size_t quick_reps = 2);
 
 class Context {
  public:

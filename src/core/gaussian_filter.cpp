@@ -1,5 +1,6 @@
 #include "core/gaussian_filter.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace st::core {
@@ -50,6 +51,48 @@ double adjustment_weight(AdjustmentComponents components, double closeness,
                               mode);
   }
   return alpha;
+}
+
+double population_stddev(double sum, double sum_sq, std::size_t n) noexcept {
+  if (n == 0) return 0.0;
+  double mean = sum / static_cast<double>(n);
+  double var = sum_sq / static_cast<double>(n) - mean * mean;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+CoefficientStats robust_stats(std::vector<double>& values) {
+  CoefficientStats out;
+  if (values.empty()) return out;
+  auto median_of = [](std::vector<double>& v) {
+    std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+    double m = v[mid];
+    if (v.size() % 2 == 0) {
+      double lower =
+          *std::max_element(v.begin(), v.begin() + static_cast<long>(mid));
+      m = (m + lower) / 2.0;
+    }
+    return m;
+  };
+  out.min = *std::min_element(values.begin(), values.end());
+  out.max = *std::max_element(values.begin(), values.end());
+  double med = median_of(values);
+  out.mean = med;
+  std::vector<double> deviations(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    deviations[i] = std::fabs(values[i] - med);
+  double mad = median_of(deviations);
+  if (mad > 0.0) {
+    out.stddev = 1.4826 * mad;
+  } else {
+    double sum = 0.0, sum_sq = 0.0;
+    for (double v : values) {
+      sum += v;
+      sum_sq += v * v;
+    }
+    out.stddev = population_stddev(sum, sum_sq, values.size());
+  }
+  return out;
 }
 
 }  // namespace st::core

@@ -11,6 +11,8 @@
 // are exponentially attenuated; pairs near the norm keep (almost) full
 // weight.
 
+#include <vector>
+
 #include "core/config.hpp"
 
 namespace st::core {
@@ -49,5 +51,20 @@ double adjustment_weight(AdjustmentComponents components, double closeness,
                          const CoefficientStats& c_stats, double similarity,
                          const CoefficientStats& s_stats, double alpha,
                          GaussianWidth mode = GaussianWidth::kStdDev) noexcept;
+
+/// Population standard deviation from running sums (sum, sum of squares,
+/// count); 0 for an empty or degenerate population.
+double population_stddev(double sum, double sum_sq, std::size_t n) noexcept;
+
+/// Median/MAD-based CoefficientStats — the system-wide baseline of the
+/// detect-and-adjust pass. `values` is consumed (permuted in place by the
+/// nth_element selections). The width is the normal-consistent
+/// 1.4826 * MAD; when the MAD degenerates to zero (over half the values
+/// identical) it falls back to the population stddev so genuinely spread
+/// data still gets a width. Shared by the centralized pipeline and the
+/// sharded aggregator's exact merge path: both must call this exact
+/// function on an identically ordered input vector to stay bit-identical
+/// (the stddev fallback sums in input order).
+CoefficientStats robust_stats(std::vector<double>& values);
 
 }  // namespace st::core

@@ -435,44 +435,63 @@ void SocialStateCache::compact_similarity_index(Shard& shard) {
   }
 }
 
-SocialStateCache::DirtyKeys SocialStateCache::collect_dirty(
-    const graph::SocialGraph& g, const InterestProfiles& profiles) {
-  DirtyKeys out;
-  if (!tracking_) return out;
+const SocialStateCache::RevisionDelta& SocialStateCache::RevisionTracker::
+    collect(const graph::SocialGraph& g, const InterestProfiles& profiles) {
   // Sweep gates: while g.epoch() holds, no graph revision moved anywhere,
   // so every surviving closeness entry that was valid at the previous
   // collect is still valid and the sweep may be skipped exactly (same
-  // argument for profiles.epoch() and similarity entries). The erase
-  // logs are drained unconditionally — eviction, invalidate_node and
-  // clear remove entries without any epoch movement.
-  const bool sweep_closeness = g.epoch() != last_graph_epoch_;
-  const bool sweep_similarity = profiles.epoch() != last_profile_epoch_;
+  // argument for profiles.epoch() and similarity entries).
+  delta_.sweep_closeness = g.epoch() != last_graph_epoch_;
+  delta_.sweep_similarity = profiles.epoch() != last_profile_epoch_;
   last_graph_epoch_ = g.epoch();
   last_profile_epoch_ = profiles.epoch();
   // Changed-node bitmaps: diff every per-node revision against the
-  // snapshot of the previous collect. An O(n) integer scan, but it makes
-  // the per-shard work below proportional to the refs of *changed* nodes
-  // rather than to the total entry count.
-  if (sweep_closeness) {
+  // snapshot of the previous collect. An O(n) integer scan — paid once
+  // per tracker per interval, however many shard caches consume the
+  // delta — that makes each cache's sweep proportional to the refs of
+  // *changed* nodes rather than to its total entry count.
+  if (delta_.sweep_closeness) {
     const std::size_t n = g.size();
     if (last_node_revs_.size() < n) last_node_revs_.resize(n, kNoGate);
-    if (graph_changed_.size() < n) graph_changed_.resize(n, 0);
+    if (delta_.graph_changed.size() < n) delta_.graph_changed.resize(n, 0);
     for (std::size_t v = 0; v < n; ++v) {
       const Revision rev = g.revision(static_cast<NodeId>(v));
-      graph_changed_[v] = last_node_revs_[v] != rev ? 1 : 0;
+      delta_.graph_changed[v] = last_node_revs_[v] != rev ? 1 : 0;
       last_node_revs_[v] = rev;
     }
   }
-  if (sweep_similarity) {
+  if (delta_.sweep_similarity) {
     const std::size_t n = profiles.node_count();
     if (last_profile_revs_.size() < n) last_profile_revs_.resize(n, kNoGate);
-    if (profile_changed_.size() < n) profile_changed_.resize(n, 0);
+    if (delta_.profile_changed.size() < n) {
+      delta_.profile_changed.resize(n, 0);
+    }
     for (std::size_t v = 0; v < n; ++v) {
       const Revision rev = profiles.revision(static_cast<NodeId>(v));
-      profile_changed_[v] = last_profile_revs_[v] != rev ? 1 : 0;
+      delta_.profile_changed[v] = last_profile_revs_[v] != rev ? 1 : 0;
       last_profile_revs_[v] = rev;
     }
   }
+  return delta_;
+}
+
+SocialStateCache::DirtyKeys SocialStateCache::collect_dirty(
+    const graph::SocialGraph& g, const InterestProfiles& profiles) {
+  if (!tracking_) return DirtyKeys{};
+  return collect_dirty(g, profiles, tracker_.collect(g, profiles));
+}
+
+SocialStateCache::DirtyKeys SocialStateCache::collect_dirty(
+    const graph::SocialGraph& g, const InterestProfiles& profiles,
+    const RevisionDelta& delta) {
+  DirtyKeys out;
+  if (!tracking_) return out;
+  // The erase logs are drained unconditionally — eviction,
+  // invalidate_node and clear remove entries without any epoch movement;
+  // the revalidation sweeps run only when the delta says the matching
+  // epoch moved.
+  const bool sweep_closeness = delta.sweep_closeness;
+  const bool sweep_similarity = delta.sweep_similarity;
   std::uint64_t swept = 0;
   // Swept keys are staged into a reused buffer with pre-reserved capacity
   // so the erase walks stay allocation-free under the shard lock, then
@@ -519,7 +538,7 @@ SocialStateCache::DirtyKeys SocialStateCache::collect_dirty(
       // one drops it.
       std::size_t wkeep = 0;
       for (const auto& ref : shard.witness_refs) {
-        if (!graph_changed_[ref.first]) {
+        if (!delta.graph_changed[ref.first]) {
           shard.witness_refs[wkeep++] = ref;
           continue;
         }
@@ -545,7 +564,7 @@ SocialStateCache::DirtyKeys SocialStateCache::collect_dirty(
       std::size_t n_staged = 0;
       std::size_t skeep = 0;
       for (const auto& ref : shard.sim_refs) {
-        if (!profile_changed_[ref.first]) {
+        if (!delta.profile_changed[ref.first]) {
           shard.sim_refs[skeep++] = ref;
           continue;
         }

@@ -187,6 +187,49 @@ class SocialStateCache {
   DirtyKeys collect_dirty(const graph::SocialGraph& g,
                           const InterestProfiles& profiles);
 
+  /// The changed-node view one revision scan produces: which sweep gates
+  /// opened and, per node, whether its (full / profile) revision moved
+  /// since the scan before. The bitmaps are meaningful only while the
+  /// matching sweep flag is set. Computed once per interval by a
+  /// RevisionTracker and shared by every shard-partitioned cache, so S
+  /// caches pay one O(nodes) scan between them instead of S.
+  struct RevisionDelta {
+    bool sweep_closeness = false;
+    bool sweep_similarity = false;
+    std::vector<std::uint8_t> graph_changed;    ///< per graph node
+    std::vector<std::uint8_t> profile_changed;  ///< per profile node
+  };
+
+  /// Owns the epoch watermarks and per-node revision snapshots that turn
+  /// "current graph/profile state" into a RevisionDelta. A cache embeds
+  /// one for the single-instance collect_dirty() below; a coordinator
+  /// that partitions its pair space over several caches (the sharded
+  /// aggregator, DESIGN.md §16) owns one tracker and hands the same
+  /// delta to every per-shard collect_dirty(g, profiles, delta) call —
+  /// keeping each shard's sweep O(refs of changed nodes) within that
+  /// shard. Coordinator-only, between parallel regions.
+  class RevisionTracker {
+   public:
+    const RevisionDelta& collect(const graph::SocialGraph& g,
+                                 const InterestProfiles& profiles);
+
+   private:
+    Revision last_graph_epoch_ = ~Revision{0};
+    Revision last_profile_epoch_ = ~Revision{0};
+    std::vector<Revision> last_node_revs_;
+    std::vector<Revision> last_profile_revs_;
+    RevisionDelta delta_;
+  };
+
+  /// As collect_dirty(g, profiles) but driven by an externally computed
+  /// RevisionDelta instead of this instance's own tracker — the
+  /// shard-partitioned form. The caller's tracker must be collected
+  /// exactly once per interval, against the same graph/profiles every
+  /// cache in the group reads.
+  DirtyKeys collect_dirty(const graph::SocialGraph& g,
+                          const InterestProfiles& profiles,
+                          const RevisionDelta& delta);
+
   /// Packed directional pair key — public so the plugin's dirty-pair
   /// worklist speaks the same key language as collect_dirty().
   static std::uint64_t pack(NodeId a, NodeId b) noexcept {
@@ -353,20 +396,11 @@ class SocialStateCache {
   /// plugin enables it at construction), so a plain bool suffices.
   bool tracking_ = false;
 
-  /// Epoch watermarks of the previous collect_dirty() call — the "since
-  /// epoch E" of the dirty query. kNoGate sentinels force a (trivially
-  /// cheap, maps still empty) sweep on the first collect. Only the
-  /// coordinator touches these, between parallel regions.
-  Revision last_graph_epoch_ = kNoGate;
-  Revision last_profile_epoch_ = kNoGate;
-
-  /// Per-node revision snapshots of the previous collect, plus the
-  /// changed-node bitmaps diffed from them at the top of each sweep
-  /// (reused buffers). Coordinator-only, like the watermarks above.
-  std::vector<Revision> last_node_revs_;
-  std::vector<Revision> last_profile_revs_;
-  std::vector<std::uint8_t> graph_changed_;
-  std::vector<std::uint8_t> profile_changed_;
+  /// Watermarks + snapshots backing the single-instance collect_dirty()
+  /// (the kNoGate-equivalent sentinels inside the tracker force a
+  /// trivially cheap sweep on the first collect). Coordinator-only,
+  /// between parallel regions; unused by the delta-driven overload.
+  RevisionTracker tracker_;
 
   /// Update-interval counter driving the eviction sweep; bumped by
   /// begin_interval(). Relaxed: begin_interval runs on the coordinator

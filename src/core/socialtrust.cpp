@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "shard/sharded_aggregator.hpp"
+
 namespace st::core {
 
 using reputation::NodeId;
@@ -55,6 +57,12 @@ SocialTrustPlugin::SocialTrustPlugin(
   obs_.cache_hit_rate = &registry.gauge("social_cache.hit_rate_pct");
 }
 
+SocialTrustPlugin::~SocialTrustPlugin() = default;
+
+const shard::ShardStats* SocialTrustPlugin::last_shard_stats() const noexcept {
+  return sharded_ ? &sharded_->last_stats() : nullptr;
+}
+
 std::size_t SocialTrustPlugin::effective_threads() const noexcept {
   if (config_.threads != 0) return config_.threads;
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -96,15 +104,6 @@ void SocialTrustPlugin::LooAggregate::add(double v) noexcept {
   ++n;
 }
 
-namespace {
-double population_stddev(double sum, double sum_sq, std::size_t n) noexcept {
-  if (n == 0) return 0.0;
-  double mean = sum / static_cast<double>(n);
-  double var = sum_sq / static_cast<double>(n) - mean * mean;
-  return var > 0.0 ? std::sqrt(var) : 0.0;
-}
-}  // namespace
-
 bool SocialTrustPlugin::LooAggregate::without(
     double v, CoefficientStats& out) const noexcept {
   if (n <= 1) return false;
@@ -127,51 +126,6 @@ CoefficientStats SocialTrustPlugin::LooAggregate::full() const noexcept {
 
 // --- helpers ----------------------------------------------------------------
 
-namespace {
-
-/// Median/MAD-based CoefficientStats. `values` is consumed (sorted in
-/// place). The width is the normal-consistent 1.4826 * MAD; when the MAD
-/// degenerates to zero (over half the values identical) it falls back to
-/// the population stddev so genuinely spread data still gets a width.
-CoefficientStats robust_stats(std::vector<double>& values) {
-  CoefficientStats out;
-  if (values.empty()) return out;
-  auto median_of = [](std::vector<double>& v) {
-    std::size_t mid = v.size() / 2;
-    std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
-    double m = v[mid];
-    if (v.size() % 2 == 0) {
-      double lower =
-          *std::max_element(v.begin(), v.begin() + static_cast<long>(mid));
-      m = (m + lower) / 2.0;
-    }
-    return m;
-  };
-  out.min = *std::min_element(values.begin(), values.end());
-  out.max = *std::max_element(values.begin(), values.end());
-  double med = median_of(values);
-  out.mean = med;
-  std::vector<double> deviations(values.size());
-  for (std::size_t i = 0; i < values.size(); ++i)
-    deviations[i] = std::fabs(values[i] - med);
-  double mad = median_of(deviations);
-  if (mad > 0.0) {
-    out.stddev = 1.4826 * mad;
-  } else {
-    double sum = 0.0, sum_sq = 0.0;
-    for (double v : values) {
-      sum += v;
-      sum_sq += v * v;
-    }
-    double mean = sum / static_cast<double>(values.size());
-    double var = sum_sq / static_cast<double>(values.size()) - mean * mean;
-    out.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
-  }
-  return out;
-}
-
-}  // namespace
-
 double SocialTrustPlugin::closeness_cached(NodeId i, NodeId j) const {
   return social_cache_.closeness(closeness_model_, graph_, i, j);
 }
@@ -192,6 +146,10 @@ SocialTrustPlugin::LooAggregate SocialTrustPlugin::aggregate_over(
 // --- update -----------------------------------------------------------------
 
 void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
+  if (config_.aggregation == AggregationMode::kSharded) {
+    update_sharded(cycle_ratings);
+    return;
+  }
   // Stage timers (no-ops when st::obs is disabled). The three stage
   // spans cover: collect = pair tally + sort + coefficient collection +
   // system baseline; loo = per-rater leave-one-out aggregates; adjust =
@@ -658,8 +616,71 @@ void SocialTrustPlugin::update(std::span<const Rating> cycle_ratings) {
   }
 }
 
+void SocialTrustPlugin::update_sharded(std::span<const Rating> cycle_ratings) {
+  obs::ScopedTimer total_timer(*obs_.total_us);
+  if (!sharded_) {
+    sharded_ = std::make_unique<shard::ShardedAggregator>(
+        graph_, profiles_, config_, *inner_, pool_.get(), name_);
+  }
+  adjusted_.assign(cycle_ratings.begin(), cycle_ratings.end());
+  report_ = AdjustmentReport{};
+  dirty_stats_ = DirtyStats{};
+  sharded_->update(adjusted_, report_, dirty_stats_);
+  inner_->update(adjusted_);
+
+  // Observation only, mirroring the centralized emission. The per-phase
+  // split (local / exchange / reduce) lives in the aggregator's own
+  // "shard.update" event; the stage fields specific to the centralized
+  // pipeline are reported as zero here.
+  if (obs::enabled()) {
+    const double total_us = total_timer.stop();
+    const SocialStateCache::StatsSnapshot cache_stats =
+        sharded_->cache_stats();
+    const std::uint64_t interval_hits = cache_stats.hits - cache_hits_reported_;
+    const std::uint64_t interval_misses =
+        cache_stats.misses - cache_misses_reported_;
+    cache_hits_reported_ = cache_stats.hits;
+    cache_misses_reported_ = cache_stats.misses;
+    const std::uint64_t interval_lookups = interval_hits + interval_misses;
+    const double hit_rate_pct =
+        interval_lookups > 0 ? 100.0 * static_cast<double>(interval_hits) /
+                                   static_cast<double>(interval_lookups)
+                             : 0.0;
+    obs_.cache_hit_rate->set(static_cast<std::int64_t>(hit_rate_pct));
+    obs_.intervals->add(1);
+    obs_.ratings_seen->add(cycle_ratings.size());
+    obs_.pairs_total->add(report_.pairs_total);
+    obs_.pairs_flagged->add(report_.pairs_flagged);
+    obs_.ratings_adjusted->add(report_.ratings_adjusted);
+    obs_.pairs_dirty->add(dirty_stats_.pairs_dirty);
+    obs_.pairs_carried->add(dirty_stats_.pairs_carried);
+    const obs::ExtraField extras[] = {
+        {"pairs_total", static_cast<double>(report_.pairs_total)},
+        {"pairs_flagged", static_cast<double>(report_.pairs_flagged)},
+        {"ratings_adjusted", static_cast<double>(report_.ratings_adjusted)},
+        {"b1", static_cast<double>(report_.b1)},
+        {"b2", static_cast<double>(report_.b2)},
+        {"b3", static_cast<double>(report_.b3)},
+        {"b4", static_cast<double>(report_.b4)},
+        {"mean_weight", report_.mean_weight},
+        {"collect_us", 0.0},
+        {"loo_us", 0.0},
+        {"adjust_us", 0.0},
+        {"total_us", total_us},
+        {"social_cache_entries", 0.0},
+        {"social_cache_hit_rate_pct", hit_rate_pct},
+        {"pairs_dirty", static_cast<double>(dirty_stats_.pairs_dirty)},
+        {"pairs_carried", static_cast<double>(dirty_stats_.pairs_carried)},
+        {"dirty_scan_us", dirty_stats_.scan_us},
+        {"threads", static_cast<double>(effective_threads())},
+    };
+    obs::Obs::instance().emit_interval("socialtrust.update", name_, extras);
+  }
+}
+
 void SocialTrustPlugin::forget_node(NodeId node) {
   inner_->forget_node(node);
+  if (sharded_) sharded_->forget_node(node);
   const bool dirty_mode = config_.schedule == UpdateSchedule::kDirtyPairs;
   if (node < rated_history_.size()) {
     // Carried coefficients naming the node describe the dead identity:
@@ -700,6 +721,7 @@ void SocialTrustPlugin::forget_node(NodeId node) {
 
 void SocialTrustPlugin::reset() {
   inner_->reset();
+  if (sharded_) sharded_->reset();
   for (auto& hist : rated_history_) hist.clear();
   social_cache_.clear();
   for (auto& slots : hist_slots_) slots.clear();

@@ -1,0 +1,114 @@
+#include "shard/gossip_exchange.hpp"
+
+#include <algorithm>
+
+#include "shard/partitioner.hpp"
+
+namespace st::shard {
+
+namespace {
+
+std::uint64_t full_mask(std::size_t shards) {
+  return shards >= 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << shards) - 1U;
+}
+
+bool all_know_all(const std::vector<std::uint64_t>& known,
+                  std::uint64_t full) {
+  for (std::uint64_t k : known) {
+    if ((k & full) != full) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+GossipExchange::GossipExchange(std::size_t shards, std::uint64_t seed,
+                               std::size_t max_rounds)
+    : shards_(std::clamp<std::size_t>(shards, 1, 64)),
+      seed_(seed),
+      max_rounds_(max_rounds == 0 ? 4 * shards_ + 8 : max_rounds) {}
+
+std::vector<std::uint32_t> GossipExchange::round_order(
+    std::size_t round) const {
+  std::vector<std::uint32_t> order(shards_);
+  for (std::size_t i = 0; i < shards_; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  // Fisher-Yates driven by a per-round splitmix chain. The state is a
+  // pure function of (seed, round, step) — re-running any round yields
+  // the same pairing on every platform.
+  std::uint64_t state = mix64(seed_ ^ (0x9E3779B97F4A7C15ULL * (round + 1)));
+  for (std::size_t i = shards_; i > 1; --i) {
+    state = mix64(state);
+    const std::size_t j = static_cast<std::size_t>(state % i);
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+ExchangeStats GossipExchange::run_synchronous(
+    std::span<const std::uint64_t> summary_bytes,
+    std::vector<std::uint64_t>& known_out) const {
+  ExchangeStats stats;
+  const std::uint64_t full = full_mask(shards_);
+  known_out.assign(shards_, 0);
+  for (std::size_t s = 0; s < shards_; ++s) known_out[s] = full;
+  stats.rounds = shards_ > 1 ? 1 : 0;
+  stats.converged = true;
+  // All-gather cost model: each shard sends its own summary to the other
+  // S-1 shards.
+  for (std::size_t s = 0; s < shards_ && s < summary_bytes.size(); ++s) {
+    stats.boundary_bytes += summary_bytes[s] * (shards_ - 1);
+  }
+  stats.messages =
+      shards_ > 1 ? static_cast<std::uint64_t>(shards_) * (shards_ - 1) : 0;
+  return stats;
+}
+
+ExchangeStats GossipExchange::run_gossip(
+    std::span<const std::uint64_t> summary_bytes,
+    std::vector<std::uint64_t>& known_out) const {
+  ExchangeStats stats;
+  const std::uint64_t full = full_mask(shards_);
+  known_out.assign(shards_, 0);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    known_out[s] = std::uint64_t{1} << s;
+  }
+  if (shards_ <= 1) {
+    stats.converged = true;
+    return stats;
+  }
+  const auto bytes_of = [&summary_bytes](std::size_t s) -> std::uint64_t {
+    return s < summary_bytes.size() ? summary_bytes[s] : 0;
+  };
+  for (std::size_t round = 0; round < max_rounds_; ++round) {
+    const auto order = round_order(round);
+    for (std::size_t i = 0; i + 1 < order.size(); i += 2) {
+      const std::uint32_t a = order[i];
+      const std::uint32_t b = order[i + 1];
+      // Each side ships only the summaries the partner lacks; the union
+      // is symmetric, the traffic is not.
+      const std::uint64_t a_to_b = known_out[a] & ~known_out[b];
+      const std::uint64_t b_to_a = known_out[b] & ~known_out[a];
+      for (std::size_t s = 0; s < shards_; ++s) {
+        const std::uint64_t bit = std::uint64_t{1} << s;
+        if ((a_to_b & bit) != 0) stats.boundary_bytes += bytes_of(s);
+        if ((b_to_a & bit) != 0) stats.boundary_bytes += bytes_of(s);
+      }
+      if (a_to_b != 0) ++stats.messages;
+      if (b_to_a != 0) ++stats.messages;
+      known_out[a] |= b_to_a;
+      known_out[b] |= a_to_b;
+    }
+    ++stats.rounds;
+    if (all_know_all(known_out, full)) {
+      stats.converged = true;
+      break;
+    }
+  }
+  stats.converged = stats.converged || all_know_all(known_out, full);
+  return stats;
+}
+
+}  // namespace st::shard

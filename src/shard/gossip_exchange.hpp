@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic boundary-exchange schedule between shards (DESIGN.md §16).
+//
+// Each shard publishes one fixed-size summary per interval (baseline
+// sketch + reputation digest, see sharded_aggregator.hpp); the exchange
+// decides who has seen what, in which round, at what byte cost. Two
+// schedules:
+//
+//   * synchronous — a modelled all-gather: one round, every shard sends
+//     its summary to every other shard. After it, every shard knows all
+//     S summaries, which is what lets the aggregator replay the
+//     centralized reductions bit-for-bit.
+//
+//   * gossip — seeded pairwise rounds with known-set flooding. Round r
+//     pairs shards by a permutation derived from mix64(seed, r)
+//     (Fisher-Yates over the shard ids, driven by the same splitmix
+//     chain as the partitioner — never std::rand, never hash order);
+//     each pair unions their known-summary sets, paying bytes only for
+//     summaries the partner lacks. Runs until every shard knows every
+//     summary (rounds-to-convergence, the number the obs layer reports)
+//     or the round budget is exhausted.
+//
+// The schedule is a pure function of (shard count, seed, round budget,
+// summary sizes): no wall clock, no thread scheduling, no hash-order
+// iteration — the whole exchange is bit-reproducible, which the DET-family
+// lint rules and the differential tests pin down.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace st::shard {
+
+/// What one exchange run did: rounds executed, whether every shard ended
+/// up knowing every summary, and the modelled traffic.
+struct ExchangeStats {
+  std::size_t rounds = 0;
+  bool converged = false;
+  std::uint64_t boundary_bytes = 0;  ///< summary bytes moved between shards
+  std::uint64_t messages = 0;        ///< point-to-point sends
+};
+
+class GossipExchange {
+ public:
+  /// `shards` must be in [1, 64] (known sets are 64-bit masks).
+  /// `max_rounds` 0 = run until convergence (hard cap 4 * shards + 8).
+  GossipExchange(std::size_t shards, std::uint64_t seed,
+                 std::size_t max_rounds);
+
+  /// The all-gather schedule: one round, all-to-all. Every known set
+  /// comes back full.
+  ExchangeStats run_synchronous(std::span<const std::uint64_t> summary_bytes,
+                                std::vector<std::uint64_t>& known_out) const;
+
+  /// The seeded gossip schedule (see file header). known_out[s] is the
+  /// bitmask of shard summaries shard s holds when the schedule stops;
+  /// bit s is always set (a shard knows itself).
+  ExchangeStats run_gossip(std::span<const std::uint64_t> summary_bytes,
+                           std::vector<std::uint64_t>& known_out) const;
+
+  /// The round-r pairing: a permutation of [0, shards) — element 2i
+  /// exchanges with element 2i+1; with an odd shard count the last sits
+  /// the round out. Exposed for tests and the schedule docs.
+  std::vector<std::uint32_t> round_order(std::size_t round) const;
+
+ private:
+  std::size_t shards_;
+  std::uint64_t seed_;
+  std::size_t max_rounds_;
+};
+
+}  // namespace st::shard

@@ -1,0 +1,86 @@
+#include "shard/partitioner.hpp"
+
+#include <algorithm>
+
+namespace st::shard {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  // splitmix64 finalizer (Steele, Lea, Flood 2014) — a fixed, portable
+  // bijection; no platform or standard-library dependence.
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27U)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31U);
+}
+
+Partition partition_graph(const graph::SocialGraph& g, std::size_t shards,
+                          std::uint64_t seed) {
+  Partition part;
+  part.shards = std::clamp<std::size_t>(shards, 1, 64);
+  const std::size_t n = g.size();
+  part.owner.resize(n);
+  part.local_index.resize(n, 0);
+
+  // Phase 1: interned-ID hashing. Stable under churn by construction —
+  // owner(v) reads nothing but (v, seed).
+  std::vector<std::size_t> shard_size(part.shards, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto s = static_cast<std::uint32_t>(
+        mix64(static_cast<std::uint64_t>(v) ^ seed) % part.shards);
+    part.owner[v] = s;
+    ++shard_size[s];
+  }
+
+  // Phase 2: deterministic edge-cut refinement over the partition views.
+  // Ascending node order, sizes updated as moves happen, so the outcome
+  // is a pure function of the inputs. The balance cap keeps every shard
+  // within 110% of the ideal size (plus one, so tiny graphs can move at
+  // all).
+  if (part.shards > 1 && n > 0) {
+    const std::size_t cap = (n + part.shards - 1) / part.shards +
+                            (n / part.shards) / 10 + 1;
+    std::vector<std::size_t> tally(part.shards, 0);
+    // Two passes are enough to absorb the bulk of the hash assignment's
+    // cut; more passes trade partition time for marginal gains.
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<NodeId> ids(n);
+      for (NodeId v = 0; v < n; ++v) ids[v] = v;
+      const auto view = g.partition_view(ids);
+      for (std::size_t k = 0; k < view.size(); ++k) {
+        const auto row = view.row(k);
+        if (row.neighbors.empty()) continue;
+        for (NodeId b : row.neighbors) ++tally[part.owner[b]];
+        const std::uint32_t cur = part.owner[row.node];
+        std::uint32_t best = cur;
+        for (std::uint32_t s = 0; s < part.shards; ++s) {
+          if (tally[s] > tally[best]) best = s;  // ties keep the lowest id
+        }
+        if (best != cur && tally[best] > tally[cur] &&
+            shard_size[best] + 1 <= cap) {
+          part.owner[row.node] = best;
+          --shard_size[cur];
+          ++shard_size[best];
+        }
+        for (NodeId b : row.neighbors) tally[part.owner[b]] = 0;
+        tally[cur] = 0;
+        tally[best] = 0;
+      }
+    }
+  }
+
+  // Derived structures: ascending member lists, local ranks, cut size.
+  part.members.resize(part.shards);
+  for (std::size_t s = 0; s < part.shards; ++s) {
+    part.members[s].reserve(shard_size[s]);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    auto& m = part.members[part.owner[v]];
+    part.local_index[v] = static_cast<std::uint32_t>(m.size());
+    m.push_back(v);
+  }
+  part.cut_edges = g.boundary_edges(part.owner).size();
+  part.total_edges = g.edge_count();
+  return part;
+}
+
+}  // namespace st::shard

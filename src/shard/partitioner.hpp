@@ -1,0 +1,59 @@
+#pragma once
+// Deterministic graph partitioner for the sharded aggregation pipeline
+// (DESIGN.md §16).
+//
+// Assignment happens in two phases:
+//
+//   1. Interned-ID hashing: owner(v) = splitmix64(v ^ seed) mod shards.
+//      The base assignment is a pure function of (node id, seed) — it
+//      never reads the graph — so it is stable under node churn: a node
+//      that whitewashes and re-enters, or a graph that gains/loses edges,
+//      never reshuffles the ownership of unrelated nodes.
+//
+//   2. Edge-cut refinement: a bounded number of deterministic passes in
+//      ascending node order move a node to the shard owning the majority
+//      of its neighbours when that strictly reduces the cut and the
+//      target shard is below the balance cap (110% of the ideal size).
+//      Sequential and order-pinned, so the result is a pure function of
+//      (graph adjacency, shards, seed) — bit-reproducible at every
+//      thread count.
+//
+// The partition is computed once per aggregator lifetime (the node set is
+// fixed at construction; see SocialGraph) and describes rater ownership:
+// shard s owns the pair slots, histories and leave-one-out aggregates of
+// every rater it owns.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.hpp"
+
+namespace st::shard {
+
+using graph::NodeId;
+
+/// A fixed assignment of every node to one of `shards` partitions, plus
+/// the derived lookup structures the aggregator iterates with.
+struct Partition {
+  std::size_t shards = 1;
+  std::vector<std::uint32_t> owner;        ///< node -> shard
+  std::vector<std::uint32_t> local_index;  ///< node -> rank within shard
+  /// Per-shard member lists, ascending node order — the order every
+  /// shard-local pass walks raters in (matching the centralized
+  /// pipeline's ascending-rater canonical order).
+  std::vector<std::vector<NodeId>> members;
+  std::size_t cut_edges = 0;    ///< undirected edges crossing shards
+  std::size_t total_edges = 0;  ///< undirected edges overall
+};
+
+/// splitmix64 of the interned-ID hash above; exposed so tests and the
+/// gossip schedule share one mixing function.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Partitions `g`'s nodes into `shards` balanced parts (see file header).
+/// `shards` is clamped to [1, 64] — the exchange layer tracks known-set
+/// masks in a 64-bit word. Deterministic for fixed (g, shards, seed).
+Partition partition_graph(const graph::SocialGraph& g, std::size_t shards,
+                          std::uint64_t seed);
+
+}  // namespace st::shard

@@ -1,0 +1,818 @@
+#include "shard/sharded_aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+namespace st::shard {
+
+using core::CoefficientStats;
+using reputation::Rating;
+
+namespace {
+
+constexpr std::uint32_t kNoSlot = 0xFFFFFFFFU;
+constexpr std::size_t kPairBlock = core::SocialTrustPlugin::kPairBlock;
+
+/// Weighted median with boundary averaging: lower = smallest value whose
+/// cumulative weight reaches W/2, upper = smallest whose cumulative weight
+/// exceeds it, result = (lower + upper) / 2. With unit weights this is
+/// exactly robust_stats' median (nth_element upper median averaged with
+/// the lower half's max on even counts) — cumulative integer weights make
+/// the >= / > comparisons exact — so merged raw-value sketches reproduce
+/// the centralized median bit-for-bit. Sorts `vw` by value.
+double weighted_median(std::vector<std::pair<double, double>>& vw) {
+  if (vw.empty()) return 0.0;
+  std::sort(vw.begin(), vw.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double total = 0.0;
+  for (const auto& [v, w] : vw) total += w;
+  const double half = total / 2.0;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < vw.size(); ++i) {
+    cum += vw[i].second;
+    if (cum >= half) {
+      const double lower = vw[i].first;
+      const double upper =
+          cum > half ? vw[i].first
+                     : (i + 1 < vw.size() ? vw[i + 1].first : vw[i].first);
+      return (lower + upper) / 2.0;
+    }
+  }
+  return vw.back().first;
+}
+
+/// robust_stats rebuilt from sketch points: median centre, MAD-derived
+/// width, with the same stddev fallback computed from the exact summed
+/// moments (the only place the merge can diverge from the centralized
+/// value by summation order — and only when MAD degenerates to zero).
+CoefficientStats robust_from_points(
+    std::vector<std::pair<double, double>>& vw, double sum, double sum_sq,
+    std::uint64_t n, double mn, double mx) {
+  CoefficientStats out;
+  if (vw.empty() || n == 0) return out;
+  out.min = mn;
+  out.max = mx;
+  const double med = weighted_median(vw);
+  out.mean = med;
+  std::vector<std::pair<double, double>> dev(vw.size());
+  for (std::size_t i = 0; i < vw.size(); ++i) {
+    dev[i] = {std::fabs(vw[i].first - med), vw[i].second};
+  }
+  const double mad = weighted_median(dev);
+  if (mad > 0.0) {
+    out.stddev = 1.4826 * mad;
+  } else {
+    out.stddev =
+        core::population_stddev(sum, sum_sq, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+void build_sketch(BaselineSketch& out, const std::vector<double>& values,
+                  std::size_t max_points) {
+  out = BaselineSketch{};
+  out.count = values.size();
+  if (values.empty()) return;
+  out.min = *std::min_element(values.begin(), values.end());
+  out.max = *std::max_element(values.begin(), values.end());
+  for (double v : values) {
+    out.sum += v;
+    out.sum_sq += v * v;
+  }
+  if (values.size() <= max_points) {
+    out.points = values;  // raw values: merged baselines are exact
+    return;
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  out.points.resize(max_points);
+  for (std::size_t k = 0; k < max_points; ++k) {
+    const std::size_t idx = k * (sorted.size() - 1) / (max_points - 1);
+    out.points[k] = sorted[idx];
+  }
+}
+
+/// Per-block partial of phase D — field-for-field the plugin's
+/// BlockPartial, reduced in the same block-index order.
+struct BlockPartial {
+  std::size_t pairs_flagged = 0;
+  std::size_t ratings_adjusted = 0;
+  std::size_t b1 = 0, b2 = 0, b3 = 0, b4 = 0;
+  double weight_sum = 0.0;
+  std::vector<core::FlaggedPair> flagged;
+};
+
+}  // namespace
+
+ShardedAggregator::ShardedAggregator(const graph::SocialGraph& graph,
+                                     const core::InterestProfiles& profiles,
+                                     const core::SocialTrustConfig& config,
+                                     const reputation::ReputationSystem& inner,
+                                     util::ThreadPool* pool, std::string name)
+    : graph_(graph),
+      profiles_(profiles),
+      config_(config),
+      inner_(inner),
+      pool_(pool),
+      name_(std::move(name)),
+      closeness_model_(config.weighted_relationships, config.lambda),
+      detector_(config),
+      n_(inner.size()) {
+  auto& registry = obs::Obs::instance().registry();
+  obs_.intervals = &registry.counter("shard.intervals");
+  obs_.exchange_rounds = &registry.counter("shard.exchange_rounds");
+  obs_.boundary_bytes = &registry.counter("shard.boundary_bytes");
+  obs_.messages = &registry.counter("shard.messages");
+  obs_.pairs_local = &registry.counter("shard.pairs_local");
+  obs_.pairs_remote = &registry.counter("shard.pairs_remote");
+  obs_.rounds_last = &registry.gauge("shard.rounds_last");
+  obs_.residual_ppm = &registry.gauge("shard.baseline_residual_ppm");
+  obs_.boundary_edges = &registry.gauge("shard.boundary_edges");
+  obs_.local_us = &registry.histogram("shard.local_us");
+  obs_.exchange_us = &registry.histogram("shard.exchange_us");
+  obs_.reduce_us = &registry.histogram("shard.reduce_us");
+  obs_.scan_us = &registry.histogram("shard.dirty_scan_us");
+}
+
+ShardedAggregator::~ShardedAggregator() = default;
+
+void ShardedAggregator::ensure_partition() {
+  if (part_) return;
+  // Cut against the graph as first observed, then held fixed: ownership
+  // must not migrate between intervals (slots and histories live in their
+  // rater's shard), and the hash layer keeps the assignment stable under
+  // whatever churn follows anyway.
+  part_ = std::make_unique<Partition>(
+      partition_graph(graph_, config_.shards, config_.shard_seed));
+  shards_.reserve(part_->shards);
+  for (std::size_t s = 0; s < part_->shards; ++s) {
+    auto st = std::make_unique<ShardState>();
+    const std::size_t members = part_->members[s].size();
+    st->rated_history.resize(members);
+    st->hist_slots.resize(members);
+    st->rater_agg.resize(members);
+    st->cache.enable_dirty_tracking();
+    shards_.push_back(std::move(st));
+  }
+}
+
+std::uint32_t ShardedAggregator::new_slot(ShardState& st) {
+  const auto id = static_cast<std::uint32_t>(st.slot_coeff.size());
+  st.slot_coeff.push_back(PairCoeff{});
+  st.slot_valid.push_back(0);
+  st.slot_stamp.push_back(0);
+  st.slot_pos.push_back(0.0);
+  st.slot_neg.push_back(0.0);
+  st.slot_ratings.push_back(0);
+  st.slot_active_idx.push_back(0);
+  return id;
+}
+
+std::uint32_t ShardedAggregator::slot_of(const ShardState& st,
+                                         std::uint32_t local,
+                                         NodeId ratee) const noexcept {
+  if (local >= st.rated_history.size()) return kNoSlot;
+  const auto& hist = st.rated_history[local];
+  const auto it = std::lower_bound(hist.begin(), hist.end(), ratee);
+  if (it == hist.end() || *it != ratee) return kNoSlot;
+  return st.hist_slots[local][static_cast<std::size_t>(it - hist.begin())];
+}
+
+void ShardedAggregator::shard_phase_a(std::size_t s,
+                                      const std::vector<Rating>& adjusted) {
+  ShardState& st = *shards_[s];
+  st.cache.begin_interval(config_.cache_evict_intervals);
+  ++st.interval_seq;
+
+  // Pass A: route this shard's bucketed ratings to their pairs' stable
+  // slots — the per-shard instance of the plugin's dirty-mode pass A,
+  // addressing raters by local index.
+  std::vector<std::uint32_t> bucket_slot(st.bucket.size());
+  std::size_t active_count = 0;
+  for (std::size_t b = 0; b < st.bucket.size(); ++b) {
+    const Rating& r = adjusted[st.bucket[b]];
+    const std::uint32_t local = part_->local_index[r.rater];
+    auto& hist = st.rated_history[local];
+    auto& slots = st.hist_slots[local];
+    auto it = std::lower_bound(hist.begin(), hist.end(), r.ratee);
+    const std::size_t pos = static_cast<std::size_t>(it - hist.begin());
+    if (it == hist.end() || *it != r.ratee) {
+      hist.insert(it, r.ratee);
+      slots.insert(slots.begin() + static_cast<std::ptrdiff_t>(pos),
+                   new_slot(st));
+      st.rater_agg[local].valid = false;
+    }
+    const std::uint32_t slot = slots[pos];
+    bucket_slot[b] = slot;
+    if (st.slot_stamp[slot] != st.interval_seq) {
+      st.slot_stamp[slot] = st.interval_seq;
+      st.slot_pos[slot] = 0.0;
+      st.slot_neg[slot] = 0.0;
+      st.slot_ratings[slot] = 0;
+      ++active_count;
+    }
+    if (r.value > 0.0) {
+      st.slot_pos[slot] += 1.0;
+    } else if (r.value < 0.0) {
+      st.slot_neg[slot] += 1.0;
+    }
+    ++st.slot_ratings[slot];
+  }
+
+  // Pass B: the shard's canonical pair order — members ascend, each
+  // history is ratee-sorted, the stamp picks this interval's pairs.
+  st.keys.clear();
+  st.active_slots.clear();
+  st.tally_pos.clear();
+  st.tally_neg.clear();
+  st.ridx_off.clear();
+  st.keys.reserve(active_count);
+  st.active_slots.reserve(active_count);
+  st.tally_pos.reserve(active_count);
+  st.tally_neg.reserve(active_count);
+  st.ridx_off.reserve(active_count + 1);
+  st.ridx_off.push_back(0);
+  for (NodeId rater : part_->members[s]) {
+    const std::uint32_t local = part_->local_index[rater];
+    const auto& hist = st.rated_history[local];
+    const auto& slots = st.hist_slots[local];
+    for (std::size_t k = 0; k < hist.size(); ++k) {
+      const std::uint32_t slot = slots[k];
+      if (st.slot_stamp[slot] != st.interval_seq) continue;
+      st.slot_active_idx[slot] = static_cast<std::uint32_t>(st.keys.size());
+      st.keys.push_back(PairKey{rater, hist[k]});
+      st.active_slots.push_back(slot);
+      st.tally_pos.push_back(st.slot_pos[slot]);
+      st.tally_neg.push_back(st.slot_neg[slot]);
+      st.ridx_off.push_back(st.ridx_off.back() + st.slot_ratings[slot]);
+    }
+  }
+
+  // Pass C: CSR fill in stream order (global rating indices), so each
+  // pair's index list matches the centralized PairMap's push_back order.
+  st.ridx.resize(st.ridx_off.back());
+  std::vector<std::uint32_t> cursor(st.ridx_off.begin(), st.ridx_off.end() - 1);
+  for (std::size_t b = 0; b < st.bucket.size(); ++b) {
+    const std::uint32_t ai = st.slot_active_idx[bucket_slot[b]];
+    st.ridx[cursor[ai]++] = st.bucket[b];
+  }
+}
+
+void ShardedAggregator::shard_phase_b(std::size_t s) {
+  ShardState& st = *shards_[s];
+  const std::size_t n = st.keys.size();
+
+  // Coefficients: carried slots ride, dirty slots recompute through this
+  // shard's own cache (value-transparent: a recompute returns the exact
+  // double the centralized cache would).
+  st.pair_c.assign(n, 0.0);
+  st.pair_s.assign(n, 0.0);
+  std::vector<std::size_t> dirty_idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = st.active_slots[i];
+    if (st.slot_valid[slot]) {
+      st.pair_c[i] = st.slot_coeff[slot].closeness;
+      st.pair_s[i] = st.slot_coeff[slot].similarity;
+    } else {
+      dirty_idx.push_back(i);
+    }
+  }
+  for (std::size_t i : dirty_idx) {
+    st.pair_c[i] = st.cache.closeness(closeness_model_, graph_,
+                                      st.keys[i].rater, st.keys[i].ratee);
+    st.pair_s[i] = st.cache.similarity(profiles_, st.keys[i].rater,
+                                       st.keys[i].ratee,
+                                       config_.weighted_interests);
+    const std::uint32_t slot = st.active_slots[i];
+    st.slot_coeff[slot] = PairCoeff{st.pair_c[i], st.pair_s[i]};
+    st.slot_valid[slot] = 1;
+  }
+  st.pairs_dirty = dirty_idx.size();
+  st.pairs_carried = n - dirty_idx.size();
+
+  // Leave-one-out aggregates for this shard's active raters, rebuilt only
+  // where invalidated — the identical add() sequence (history order) a
+  // centralized rebuild replays.
+  st.raters_rebuilt = 0;
+  st.raters_carried = 0;
+  if (config_.baseline != core::BaselineSource::kSystemWide) {
+    NodeId prev = 0;
+    bool first = true;
+    for (const PairKey& key : st.keys) {
+      if (!first && key.rater == prev) continue;
+      first = false;
+      prev = key.rater;
+      const std::uint32_t local = part_->local_index[key.rater];
+      RaterAggregates& agg = st.rater_agg[local];
+      if (agg.valid) {
+        ++st.raters_carried;
+        continue;
+      }
+      agg.closeness = LooAggregate{};
+      agg.similarity = LooAggregate{};
+      for (NodeId j : st.rated_history[local]) {
+        agg.closeness.add(
+            st.cache.closeness(closeness_model_, graph_, key.rater, j));
+      }
+      for (NodeId j : st.rated_history[local]) {
+        agg.similarity.add(st.cache.similarity(profiles_, key.rater, j,
+                                               config_.weighted_interests));
+      }
+      agg.valid = true;
+      ++st.raters_rebuilt;
+    }
+  }
+
+  build_summary(s);
+}
+
+void ShardedAggregator::build_summary(std::size_t s) {
+  ShardState& st = *shards_[s];
+  ShardSummary& sum = st.summary;
+  sum = ShardSummary{};
+  sum.pair_count = st.keys.size();
+  for (std::size_t i = 0; i < st.keys.size(); ++i) {
+    sum.rating_count += st.tally_pos[i] + st.tally_neg[i];
+  }
+  const std::size_t max_points =
+      std::max<std::size_t>(2, config_.gossip_summary_points);
+  build_sketch(sum.closeness, st.pair_c, max_points);
+  build_sketch(sum.similarity, st.pair_s, max_points);
+
+  // Modelled wire size. The synchronous all-gather must move the full
+  // coefficient arrays (bit-exact replay needs every value); gossip moves
+  // the fixed-size sketch. Both carry the 16-byte count header and the
+  // shard's reputation digest (8 bytes per member).
+  const std::uint64_t digest =
+      8ULL * static_cast<std::uint64_t>(part_->members[s].size());
+  if (config_.exchange == core::ExchangeSchedule::kSynchronous) {
+    sum.payload_bytes = 16 + 16ULL * sum.pair_count + digest;
+  } else {
+    sum.payload_bytes = 16 +
+                        2 * (40 + 8ULL * sum.closeness.points.size()) + digest;
+  }
+}
+
+ShardedAggregator::ShardView ShardedAggregator::merge_known(
+    std::uint64_t known) const {
+  ShardView view;
+  double pair_count = 0.0;
+  double rating_count = 0.0;
+  std::vector<std::pair<double, double>> c_vw, s_vw;
+  double c_sum = 0.0, c_sum_sq = 0.0, s_sum = 0.0, s_sum_sq = 0.0;
+  std::uint64_t c_n = 0, s_n = 0;
+  double c_min = 0.0, c_max = 0.0, s_min = 0.0, s_max = 0.0;
+  bool c_any = false, s_any = false;
+  // Ascending shard order — one fixed merge order regardless of which
+  // gossip round delivered which summary.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if ((known & (std::uint64_t{1} << s)) == 0) continue;
+    const ShardSummary& sum = shards_[s]->summary;
+    pair_count += static_cast<double>(sum.pair_count);
+    rating_count += sum.rating_count;
+    const auto fold = [](const BaselineSketch& sk, bool& any, double& mn,
+                         double& mx, double& acc_sum, double& acc_sq,
+                         std::uint64_t& acc_n,
+                         std::vector<std::pair<double, double>>& vw) {
+      if (sk.count == 0) return;
+      if (!any || sk.min < mn) mn = sk.min;
+      if (!any || sk.max > mx) mx = sk.max;
+      any = true;
+      acc_sum += sk.sum;
+      acc_sq += sk.sum_sq;
+      acc_n += sk.count;
+      const double w =
+          static_cast<double>(sk.count) / static_cast<double>(sk.points.size());
+      for (double v : sk.points) vw.emplace_back(v, w);
+    };
+    fold(sum.closeness, c_any, c_min, c_max, c_sum, c_sum_sq, c_n, c_vw);
+    fold(sum.similarity, s_any, s_min, s_max, s_sum, s_sum_sq, s_n, s_vw);
+  }
+  view.avg_freq = pair_count > 0.0 ? rating_count / pair_count : 0.0;
+  view.c = robust_from_points(c_vw, c_sum, c_sum_sq, c_n, c_min, c_max);
+  view.s = robust_from_points(s_vw, s_sum, s_sum_sq, s_n, s_min, s_max);
+  return view;
+}
+
+void ShardedAggregator::run_blocks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool_) {
+    pool_->parallel_for(n, kPairBlock, fn);
+    return;
+  }
+  for (std::size_t begin = 0; begin < n; begin += kPairBlock) {
+    fn(begin, std::min(begin + kPairBlock, n));
+  }
+}
+
+void ShardedAggregator::update(
+    std::vector<Rating>& adjusted, core::AdjustmentReport& report,
+    core::SocialTrustPlugin::DirtyStats& dirty_stats) {
+  ensure_partition();
+  const std::size_t S = part_->shards;
+  stats_ = ShardStats{};
+  stats_.shards = S;
+  stats_.boundary_edges = part_->cut_edges;
+  const bool sync = config_.exchange == core::ExchangeSchedule::kSynchronous;
+
+  // --- Phases A + B: shard-local work --------------------------------------
+  obs::ScopedTimer local_timer(*obs_.local_us);
+
+  // Route each rating to its rater's owner shard (stream order preserved
+  // within each bucket). Validity mirrors the centralized pass 1 filter.
+  for (auto& st : shards_) st->bucket.clear();
+  for (std::size_t idx = 0; idx < adjusted.size(); ++idx) {
+    const Rating& r = adjusted[idx];
+    if (r.rater >= n_ || r.ratee >= n_ || r.rater == r.ratee) continue;
+    shards_[part_->owner[r.rater]]->bucket.push_back(
+        static_cast<std::uint32_t>(idx));
+  }
+
+  const auto for_each_shard = [&](auto&& fn) {
+    if (pool_ && S > 1) {
+      pool_->parallel_for(S, fn);
+    } else {
+      for (std::size_t s = 0; s < S; ++s) fn(s);
+    }
+  };
+  for_each_shard([&](std::size_t s) { shard_phase_a(s, adjusted); });
+
+  // Dirty collection: one revision scan shared by all S caches, then each
+  // shard drains its own cache and applies the kill rules to the slots
+  // and aggregates it owns (cross-shard halves of a similarity key are
+  // handled by the other endpoint's owner draining its own cache).
+  {
+    obs::ScopedTimer scan_timer(*obs_.scan_us);
+    const auto& delta = tracker_.collect(graph_, profiles_);
+    for (std::size_t s = 0; s < S; ++s) {
+      ShardState& st = *shards_[s];
+      const auto owned = [&](NodeId node) {
+        return node < part_->owner.size() && part_->owner[node] == s;
+      };
+      const auto kill_slot = [&](NodeId rater, NodeId ratee) {
+        if (!owned(rater)) return;
+        const std::uint32_t slot =
+            slot_of(st, part_->local_index[rater], ratee);
+        if (slot != kNoSlot) st.slot_valid[slot] = 0;
+      };
+      const auto kill_agg = [&](NodeId rater) {
+        if (owned(rater)) {
+          st.rater_agg[part_->local_index[rater]].valid = false;
+        }
+      };
+      const core::SocialStateCache::DirtyKeys dirty =
+          st.cache.collect_dirty(graph_, profiles_, delta);
+      for (std::uint64_t key : dirty.closeness) {
+        const NodeId rater = core::SocialStateCache::key_first(key);
+        kill_slot(rater, core::SocialStateCache::key_second(key));
+        kill_agg(rater);
+      }
+      for (std::uint64_t key : dirty.similarity) {
+        const NodeId lo = core::SocialStateCache::key_first(key);
+        const NodeId hi = core::SocialStateCache::key_second(key);
+        kill_slot(lo, hi);
+        kill_slot(hi, lo);
+        kill_agg(lo);
+        kill_agg(hi);
+      }
+    }
+    dirty_stats.scan_us = scan_timer.stop();
+  }
+
+  for_each_shard([&](std::size_t s) { shard_phase_b(s); });
+  stats_.local_us = local_timer.stop();
+
+  // --- Phase C: merge + boundary exchange ----------------------------------
+  obs::ScopedTimer exchange_timer(*obs_.exchange_us);
+
+  // k-way merge of the per-shard canonical lists. Raters are disjoint
+  // across shards and each list is (rater, ratee)-ascending, so the merge
+  // IS the global canonical order the centralized sort produces.
+  std::size_t total = 0;
+  stats_.shard_pairs.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    stats_.shard_pairs[s] = shards_[s]->keys.size();
+    total += shards_[s]->keys.size();
+  }
+  m_keys_.clear();
+  m_shard_.clear();
+  m_c_.clear();
+  m_s_.clear();
+  m_pos_.clear();
+  m_neg_.clear();
+  m_ridx_off_.clear();
+  m_ridx_.clear();
+  m_keys_.reserve(total);
+  m_shard_.reserve(total);
+  m_c_.reserve(total);
+  m_s_.reserve(total);
+  m_pos_.reserve(total);
+  m_neg_.reserve(total);
+  m_ridx_off_.reserve(total + 1);
+  m_ridx_off_.push_back(0);
+  {
+    std::vector<std::size_t> pos(S, 0);
+    for (std::size_t g = 0; g < total; ++g) {
+      std::size_t best = S;
+      for (std::size_t s = 0; s < S; ++s) {
+        if (pos[s] >= shards_[s]->keys.size()) continue;
+        if (best == S) {
+          best = s;
+          continue;
+        }
+        const PairKey& a = shards_[s]->keys[pos[s]];
+        const PairKey& b = shards_[best]->keys[pos[best]];
+        if (a.rater < b.rater ||
+            (a.rater == b.rater && a.ratee < b.ratee)) {
+          best = s;
+        }
+      }
+      ShardState& st = *shards_[best];
+      const std::size_t i = pos[best]++;
+      const PairKey key = st.keys[i];
+      m_keys_.push_back(key);
+      m_shard_.push_back(static_cast<std::uint32_t>(best));
+      m_c_.push_back(st.pair_c[i]);
+      m_s_.push_back(st.pair_s[i]);
+      m_pos_.push_back(st.tally_pos[i]);
+      m_neg_.push_back(st.tally_neg[i]);
+      for (std::uint32_t k = st.ridx_off[i]; k < st.ridx_off[i + 1]; ++k) {
+        m_ridx_.push_back(st.ridx[k]);
+      }
+      m_ridx_off_.push_back(static_cast<std::uint32_t>(m_ridx_.size()));
+      if (part_->owner[key.ratee] == best) {
+        ++stats_.pairs_local;
+      } else {
+        ++stats_.pairs_remote;
+      }
+    }
+  }
+
+  // System-average per-pair frequency F, replayed over the merged order
+  // (the centralized pass 2 accumulation).
+  double exact_avg = 0.0;
+  {
+    double total_count = 0.0;
+    for (std::size_t g = 0; g < total; ++g)
+      total_count += m_pos_[g] + m_neg_[g];
+    exact_avg = total == 0 ? 0.0 : total_count / static_cast<double>(total);
+  }
+
+  // The exact system baselines: robust statistics over the identically
+  // ordered merged coefficient vectors — the centralized pass 3b, replayed.
+  std::vector<double> sys_c_values = m_c_;
+  std::vector<double> sys_s_values = m_s_;
+  ShardView exact_view;
+  exact_view.c = core::robust_stats(sys_c_values);
+  exact_view.s = core::robust_stats(sys_s_values);
+  exact_view.avg_freq = exact_avg;
+
+  // Run the exchange schedule and rebuild each shard's view.
+  std::vector<std::uint64_t> payload(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    payload[s] = shards_[s]->summary.payload_bytes;
+  }
+  const GossipExchange exchange(S, config_.shard_seed, config_.gossip_rounds);
+  std::vector<std::uint64_t> known;
+  std::vector<ShardView> views(S);
+  if (sync) {
+    stats_.exchange = exchange.run_synchronous(payload, known);
+    for (auto& v : views) v = exact_view;
+  } else {
+    stats_.exchange = exchange.run_gossip(payload, known);
+    for (std::size_t s = 0; s < S; ++s) views[s] = merge_known(known[s]);
+
+    // Reputation digests: refresh owned entries from the wrapped system,
+    // then adopt the digest of every shard whose summary was learned this
+    // interval; unlearned shards' entries stay at their last-known values.
+    std::vector<double> current(n_);
+    for (NodeId v = 0; v < n_; ++v) current[v] = inner_.reputation(v);
+    if (!rep_views_initialized_) {
+      for (auto& st : shards_) st->rep_view = current;
+      rep_views_initialized_ = true;
+    }
+    for (std::size_t s = 0; s < S; ++s) {
+      ShardState& st = *shards_[s];
+      for (std::size_t o = 0; o < S; ++o) {
+        if ((known[s] & (std::uint64_t{1} << o)) == 0) continue;
+        for (NodeId node : part_->members[o]) {
+          if (node < n_) st.rep_view[node] = current[node];
+        }
+      }
+    }
+
+    // Residual: worst normalised deviation of any shard's rebuilt
+    // baseline from the exact one.
+    const double quantities[] = {exact_view.avg_freq, exact_view.c.mean,
+                                 exact_view.c.stddev, exact_view.c.min,
+                                 exact_view.c.max,    exact_view.s.mean,
+                                 exact_view.s.stddev, exact_view.s.min,
+                                 exact_view.s.max};
+    double scale = 1e-12;
+    for (double q : quantities) scale = std::max(scale, std::fabs(q));
+    for (const ShardView& v : views) {
+      const double approx[] = {v.avg_freq, v.c.mean, v.c.stddev,
+                               v.c.min,    v.c.max,  v.s.mean,
+                               v.s.stddev, v.s.min,  v.s.max};
+      for (std::size_t q = 0; q < std::size(quantities); ++q) {
+        stats_.baseline_residual =
+            std::max(stats_.baseline_residual,
+                     std::fabs(approx[q] - quantities[q]) / scale);
+      }
+    }
+  }
+  stats_.exchange_us = exchange_timer.stop();
+
+  // --- Phase D: detect and adjust over the merged order --------------------
+  obs::ScopedTimer reduce_timer(*obs_.reduce_us);
+  report.pairs_total = total;
+  const bool use_per_rater =
+      config_.baseline != core::BaselineSource::kSystemWide;
+  const std::size_t n_blocks = (total + kPairBlock - 1) / kPairBlock;
+  std::vector<BlockPartial> partials(n_blocks);
+  run_blocks(total, [&](std::size_t begin, std::size_t end) {
+    BlockPartial& part = partials[begin / kPairBlock];
+    for (std::size_t g = begin; g < end; ++g) {
+      const PairKey key = m_keys_[g];
+      const std::uint32_t s = m_shard_[g];
+      const ShardView& v = views[s];
+
+      CoefficientStats c_stats = v.c;
+      CoefficientStats s_stats = v.s;
+      if (use_per_rater) {
+        const RaterAggregates& agg =
+            shards_[s]->rater_agg[part_->local_index[key.rater]];
+        agg.closeness.without(m_c_[g], c_stats);
+        agg.similarity.without(m_s_[g], s_stats);
+      }
+
+      core::PairEvidence evidence;
+      evidence.positive_count = m_pos_[g];
+      evidence.negative_count = m_neg_[g];
+      evidence.closeness = m_c_[g];
+      evidence.similarity = m_s_[g];
+      evidence.ratee_reputation =
+          sync ? inner_.reputation(key.ratee) : shards_[s]->rep_view[key.ratee];
+      evidence.rater_closeness = c_stats;
+
+      const core::Behavior behavior = detector_.classify(evidence, v.avg_freq);
+      if (core::any(behavior & core::Behavior::kB1)) ++part.b1;
+      if (core::any(behavior & core::Behavior::kB2)) ++part.b2;
+      if (core::any(behavior & core::Behavior::kB3)) ++part.b3;
+      if (core::any(behavior & core::Behavior::kB4)) ++part.b4;
+
+      const bool adjust =
+          config_.gate_on_detector ? core::any(behavior) : true;
+      if (!adjust) continue;
+      if (core::any(behavior)) ++part.pairs_flagged;
+
+      double weight = core::adjustment_weight(config_.components, m_c_[g],
+                                              c_stats, m_s_[g], s_stats,
+                                              config_.alpha, config_.width);
+      if (config_.baseline == core::BaselineSource::kHybrid) {
+        weight = std::min(
+            weight,
+            core::adjustment_weight(config_.components, m_c_[g], v.c, m_s_[g],
+                                    v.s, config_.alpha, config_.width));
+      }
+      if (core::any(behavior)) {
+        part.flagged.push_back(
+            core::FlaggedPair{key.rater, key.ratee, behavior, weight});
+      }
+      for (std::uint32_t k = m_ridx_off_[g]; k < m_ridx_off_[g + 1]; ++k) {
+        adjusted[m_ridx_[k]].value *= weight;
+        ++part.ratings_adjusted;
+        part.weight_sum += weight;
+      }
+    }
+  });
+
+  // Block-index-order reduction — the centralized pipeline's reduce,
+  // bit-for-bit (blocks are contiguous ranges of the same merged order).
+  double weight_sum = 0.0;
+  for (const BlockPartial& part : partials) {
+    report.pairs_flagged += part.pairs_flagged;
+    report.ratings_adjusted += part.ratings_adjusted;
+    report.b1 += part.b1;
+    report.b2 += part.b2;
+    report.b3 += part.b3;
+    report.b4 += part.b4;
+    weight_sum += part.weight_sum;
+    report.flagged.insert(report.flagged.end(), part.flagged.begin(),
+                          part.flagged.end());
+  }
+  report.mean_weight =
+      report.ratings_adjusted > 0
+          ? weight_sum / static_cast<double>(report.ratings_adjusted)
+          : 1.0;
+  stats_.reduce_us = reduce_timer.stop();
+
+  for (const auto& st : shards_) {
+    dirty_stats.pairs_dirty += st->pairs_dirty;
+    dirty_stats.pairs_carried += st->pairs_carried;
+    dirty_stats.raters_rebuilt += st->raters_rebuilt;
+    dirty_stats.raters_carried += st->raters_carried;
+  }
+
+  if (obs::enabled()) {
+    obs_.intervals->add(1);
+    obs_.exchange_rounds->add(stats_.exchange.rounds);
+    obs_.boundary_bytes->add(stats_.exchange.boundary_bytes);
+    obs_.messages->add(stats_.exchange.messages);
+    obs_.pairs_local->add(stats_.pairs_local);
+    obs_.pairs_remote->add(stats_.pairs_remote);
+    obs_.rounds_last->set(static_cast<std::int64_t>(stats_.exchange.rounds));
+    obs_.residual_ppm->set(
+        static_cast<std::int64_t>(stats_.baseline_residual * 1e6));
+    obs_.boundary_edges->set(
+        static_cast<std::int64_t>(stats_.boundary_edges));
+    const obs::ExtraField extras[] = {
+        {"shards", static_cast<double>(S)},
+        {"exchange_rounds", static_cast<double>(stats_.exchange.rounds)},
+        {"converged", stats_.exchange.converged ? 1.0 : 0.0},
+        {"boundary_bytes",
+         static_cast<double>(stats_.exchange.boundary_bytes)},
+        {"messages", static_cast<double>(stats_.exchange.messages)},
+        {"boundary_edges", static_cast<double>(stats_.boundary_edges)},
+        {"pairs_local", static_cast<double>(stats_.pairs_local)},
+        {"pairs_remote", static_cast<double>(stats_.pairs_remote)},
+        {"baseline_residual_ppm", stats_.baseline_residual * 1e6},
+        {"local_us", stats_.local_us},
+        {"exchange_us", stats_.exchange_us},
+        {"reduce_us", stats_.reduce_us},
+    };
+    obs::Obs::instance().emit_interval("shard.update", name_, extras);
+  }
+}
+
+void ShardedAggregator::forget_node(NodeId node) {
+  if (!part_) return;  // no carried state yet
+  if (node < part_->owner.size()) {
+    ShardState& st = *shards_[part_->owner[node]];
+    const std::uint32_t local = part_->local_index[node];
+    if (local < st.rated_history.size()) {
+      for (std::uint32_t slot : st.hist_slots[local]) st.slot_valid[slot] = 0;
+      st.hist_slots[local].clear();
+      st.rated_history[local].clear();
+      st.rater_agg[local] = RaterAggregates{};
+    }
+  }
+  // The discarded identity disappears from every rater's history in every
+  // shard; a shrunken history invalidates that rater's carried aggregates.
+  for (auto& st_ptr : shards_) {
+    ShardState& st = *st_ptr;
+    for (std::size_t local = 0; local < st.rated_history.size(); ++local) {
+      auto& hist = st.rated_history[local];
+      auto it = std::lower_bound(hist.begin(), hist.end(), node);
+      if (it != hist.end() && *it == node) {
+        const std::size_t pos = static_cast<std::size_t>(it - hist.begin());
+        hist.erase(it);
+        auto& slots = st.hist_slots[local];
+        st.slot_valid[slots[pos]] = 0;
+        slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(pos));
+        st.rater_agg[local].valid = false;
+      }
+    }
+    st.cache.invalidate_node(node);
+  }
+}
+
+void ShardedAggregator::reset() {
+  for (auto& st_ptr : shards_) {
+    ShardState& st = *st_ptr;
+    for (auto& hist : st.rated_history) hist.clear();
+    for (auto& slots : st.hist_slots) slots.clear();
+    st.slot_coeff.clear();
+    st.slot_valid.clear();
+    st.slot_stamp.clear();
+    st.slot_pos.clear();
+    st.slot_neg.clear();
+    st.slot_ratings.clear();
+    st.slot_active_idx.clear();
+    st.interval_seq = 0;
+    for (auto& agg : st.rater_agg) agg = RaterAggregates{};
+    st.cache.clear();
+    st.summary = ShardSummary{};
+    st.rep_view.clear();
+  }
+  rep_views_initialized_ = false;
+  stats_ = ShardStats{};
+}
+
+core::SocialStateCache::StatsSnapshot ShardedAggregator::cache_stats() const {
+  core::SocialStateCache::StatsSnapshot out;
+  for (const auto& st : shards_) {
+    const auto s = st->cache.stats();
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.invalidations += s.invalidations;
+    out.structure_hits += s.structure_hits;
+    out.structure_misses += s.structure_misses;
+    out.evictions += s.evictions;
+  }
+  return out;
+}
+
+}  // namespace st::shard

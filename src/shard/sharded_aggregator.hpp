@@ -1,0 +1,271 @@
+#pragma once
+// ShardedAggregator — the update interval as N cooperating partitions
+// (DESIGN.md §16).
+//
+// The centralized SocialTrustPlugin::update() is one monolithic pipeline
+// over the global (rater, ratee)-sorted pair list. This class restructures
+// the same interval around a deterministic partition of the raters
+// (src/shard/partitioner.hpp): shard s owns the pair slots, cumulative
+// rating histories, leave-one-out aggregates and social-state cache of
+// every rater assigned to it, and runs the shard-local passes over its own
+// state only. Cross-shard quantities — the robust system-wide baselines,
+// the average pair frequency F, and (under gossip) remote reputations —
+// move between shards as fixed-size summaries over the boundary-exchange
+// schedule in gossip_exchange.hpp.
+//
+// One interval:
+//
+//   Phase 0 (once)  partition the graph; allocate per-shard state.
+//   Phase A         route each rating to its rater's owner shard; every
+//                   shard tallies its pairs into stable local slots and
+//                   recovers its local canonical (rater, ratee) order —
+//                   the dirty-pair machinery of DESIGN.md §14, one
+//                   instance per shard.
+//   Phase B         shard-local coefficients + leave-one-out aggregates:
+//                   carried slots ride forward, dirty slots recompute
+//                   through the shard's own revision-validated cache. The
+//                   S caches share one RevisionTracker scan per interval,
+//                   so the dirty collection stays O(changed) overall.
+//   Phase C         boundary exchange. Every shard publishes one summary
+//                   (pair/rating counts, min/max/moment accumulators and
+//                   a quantile sketch per coefficient, plus its members'
+//                   reputations); the exchange schedule decides who
+//                   learns what and at what byte cost.
+//   Phase D         detect-and-adjust over the k-way merge of the
+//                   per-shard canonical pair lists — which IS the global
+//                   canonical order, because raters are disjoint across
+//                   shards — in the same fixed kPairBlock blocks and
+//                   block-index-order reduction the centralized pipeline
+//                   uses.
+//
+// Bit-identity (synchronous exchange). Every floating-point reduction the
+// centralized pipeline performs is replayed over the identical value
+// sequence: per-shard coefficients are value-transparent (same cache
+// contract, same closeness/similarity code on the same frozen inputs), the
+// merged pair order equals the centralized sort order, robust_stats runs
+// on the identically-ordered merged vector, and phase D replays the exact
+// per-rating weight_sum accumulation inside the same block structure. The
+// result is therefore bit-for-bit equal to AggregationMode::kCentralized
+// at every shard count and every thread count — the hard gate in
+// tests/sharded_aggregation_test.cpp.
+//
+// Gossip exchange trades that exactness for fixed-size summaries: each
+// shard rebuilds the system baselines from the sketches it has learned,
+// so results converge to the centralized ones within a small residual
+// (exactly zero when every shard's pair count fits the sketch) while
+// remaining fully deterministic for a fixed (seed, shard count).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gaussian_filter.hpp"
+#include "core/socialtrust.hpp"
+#include "shard/gossip_exchange.hpp"
+#include "shard/partitioner.hpp"
+
+namespace st::shard {
+
+/// Fixed-size summary of one shard's coefficient population: extremes,
+/// moment accumulators, and either the raw values (count <= the
+/// configured sketch size — merged baselines are then exact) or evenly
+/// spaced order statistics.
+struct BaselineSketch {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::vector<double> points;
+};
+
+/// What one shard publishes per interval (phase C).
+struct ShardSummary {
+  std::uint64_t pair_count = 0;
+  double rating_count = 0.0;  ///< sum of t+ + t- (integer-valued, exact)
+  BaselineSketch closeness;
+  BaselineSketch similarity;
+  std::uint64_t payload_bytes = 0;  ///< modelled wire size, digest included
+};
+
+/// Per-interval diagnostics of the sharded pipeline (obs + tests + bench).
+struct ShardStats {
+  std::size_t shards = 1;
+  std::size_t boundary_edges = 0;  ///< partition cut (graph edges)
+  std::size_t pairs_local = 0;     ///< active pairs with ratee in-shard
+  std::size_t pairs_remote = 0;    ///< active pairs crossing shards
+  ExchangeStats exchange;          ///< rounds / bytes / messages this interval
+  /// Largest normalised deviation of any shard's rebuilt baseline
+  /// statistic (median/width/min/max of both coefficients, plus F) from
+  /// the exact centralized value. Always 0 under the synchronous
+  /// schedule; under gossip it is the price of the sketches.
+  double baseline_residual = 0.0;
+  std::vector<std::size_t> shard_pairs;  ///< active pair count per shard
+  double local_us = 0.0;     ///< phases A+B (shard-local work)
+  double exchange_us = 0.0;  ///< phase C (merge + exchange + views)
+  double reduce_us = 0.0;    ///< phase D (detect-adjust + reduction)
+};
+
+class ShardedAggregator {
+ public:
+  /// `pool` may be null (serial). `name` labels the "shard.update" obs
+  /// interval events (the owning plugin's system name).
+  ShardedAggregator(const graph::SocialGraph& graph,
+                    const core::InterestProfiles& profiles,
+                    const core::SocialTrustConfig& config,
+                    const reputation::ReputationSystem& inner,
+                    util::ThreadPool* pool, std::string name);
+  ~ShardedAggregator();
+
+  ShardedAggregator(const ShardedAggregator&) = delete;
+  ShardedAggregator& operator=(const ShardedAggregator&) = delete;
+
+  /// Runs passes 1-4 of the update interval sharded: rescales flagged
+  /// ratings in `adjusted` in place and fills the report/dirty stats with
+  /// exactly what the centralized pipeline would produce (synchronous
+  /// exchange) or its sketch-converged equivalent (gossip). The caller
+  /// feeds `adjusted` to the wrapped system afterwards.
+  void update(std::vector<reputation::Rating>& adjusted,
+              core::AdjustmentReport& report,
+              core::SocialTrustPlugin::DirtyStats& dirty_stats);
+
+  /// Whitewashing hook: drops every slot, history entry, aggregate and
+  /// cache entry mentioning `node` across all shards (the sharded mirror
+  /// of SocialTrustPlugin::forget_node's plugin-state half).
+  void forget_node(reputation::NodeId node);
+
+  /// Drops all carried state; the partition itself is kept (the node set
+  /// is fixed for the graph's lifetime).
+  void reset();
+
+  const ShardStats& last_stats() const noexcept { return stats_; }
+
+  /// Null until the first update() (the partition is cut against the
+  /// graph as first observed, then held fixed).
+  const Partition* partition() const noexcept { return part_.get(); }
+
+  /// Summed per-instance stats of the per-shard social-state caches.
+  core::SocialStateCache::StatsSnapshot cache_stats() const;
+
+ private:
+  using LooAggregate = core::SocialTrustPlugin::LooAggregate;
+  using PairKey = reputation::PairKey;
+  using NodeId = reputation::NodeId;
+
+  /// Carried per-pair coefficients (mirror of the plugin's PairCoeff).
+  struct PairCoeff {
+    double closeness = 0.0;
+    double similarity = 0.0;
+  };
+
+  struct RaterAggregates {
+    LooAggregate closeness;
+    LooAggregate similarity;
+    bool valid = false;
+  };
+
+  /// Everything shard s owns. Raters are addressed by their *local* index
+  /// (rank within the shard's ascending member list), so per-shard arrays
+  /// cost O(members), not O(all nodes). The slot machinery is a per-shard
+  /// instance of the plugin's dirty-pair plumbing (socialtrust.hpp).
+  struct ShardState {
+    std::vector<std::vector<NodeId>> rated_history;       // [local rater]
+    std::vector<std::vector<std::uint32_t>> hist_slots;   // [local rater]
+    std::vector<PairCoeff> slot_coeff;
+    std::vector<std::uint8_t> slot_valid;
+    std::vector<std::uint64_t> slot_stamp;
+    std::vector<double> slot_pos, slot_neg;
+    std::vector<std::uint32_t> slot_ratings;
+    std::vector<std::uint32_t> slot_active_idx;
+    std::uint64_t interval_seq = 0;
+    std::vector<RaterAggregates> rater_agg;               // [local rater]
+    core::SocialStateCache cache;
+
+    // Per-interval scratch/outputs (local canonical order).
+    std::vector<std::uint32_t> bucket;  ///< this interval's rating indices
+    std::vector<PairKey> keys;
+    std::vector<std::uint32_t> active_slots;
+    std::vector<double> tally_pos, tally_neg;
+    std::vector<std::uint32_t> ridx_off, ridx;  ///< ridx: global indices
+    std::vector<double> pair_c, pair_s;
+    std::size_t pairs_dirty = 0, pairs_carried = 0;
+    std::size_t raters_rebuilt = 0, raters_carried = 0;
+    ShardSummary summary;
+
+    /// Gossip only: this shard's view of every node's reputation —
+    /// refreshed from the wrapped system for owned nodes, learned over
+    /// the exchange for the rest, stale where dissemination was capped.
+    std::vector<double> rep_view;
+  };
+
+  /// One shard's rebuilt view of the cross-shard quantities phase D reads.
+  struct ShardView {
+    core::CoefficientStats c;
+    core::CoefficientStats s;
+    double avg_freq = 0.0;
+  };
+
+  void ensure_partition();
+  void shard_phase_a(std::size_t s,
+                     const std::vector<reputation::Rating>& adjusted);
+  void shard_phase_b(std::size_t s);
+  std::uint32_t new_slot(ShardState& st);
+  std::uint32_t slot_of(const ShardState& st, std::uint32_t local,
+                        NodeId ratee) const noexcept;
+
+  /// Builds `st.summary` from this interval's local coefficient arrays.
+  void build_summary(std::size_t s);
+  /// Robust baseline statistics rebuilt from the sketches of the shards
+  /// in `known` (ascending shard order — a fixed merge order).
+  ShardView merge_known(std::uint64_t known) const;
+
+  /// fn(begin, end) over kPairBlock-sized blocks of [0, n) — pool-backed
+  /// or serial, same blocks either way (the plugin's run_blocks shape).
+  void run_blocks(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+  const graph::SocialGraph& graph_;
+  const core::InterestProfiles& profiles_;
+  core::SocialTrustConfig config_;
+  const reputation::ReputationSystem& inner_;
+  util::ThreadPool* pool_;
+  std::string name_;
+  core::ClosenessModel closeness_model_;
+  core::BehaviorDetector detector_;
+  std::size_t n_;  ///< reputation domain size (inner.size())
+
+  std::unique_ptr<Partition> part_;
+  /// Heap-allocated: ShardState embeds a SocialStateCache (atomics +
+  /// mutexes), which is neither movable nor copyable.
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  core::SocialStateCache::RevisionTracker tracker_;
+  bool rep_views_initialized_ = false;
+
+  ShardStats stats_;
+
+  // Merged (global canonical order) per-interval scratch.
+  std::vector<PairKey> m_keys_;
+  std::vector<std::uint32_t> m_shard_;  ///< pair -> owner shard
+  std::vector<double> m_c_, m_s_, m_pos_, m_neg_;
+  std::vector<std::uint32_t> m_ridx_off_, m_ridx_;
+
+  struct ObsHandles {
+    obs::Counter* intervals = nullptr;       ///< shard.intervals
+    obs::Counter* exchange_rounds = nullptr; ///< shard.exchange_rounds
+    obs::Counter* boundary_bytes = nullptr;  ///< shard.boundary_bytes
+    obs::Counter* messages = nullptr;        ///< shard.messages
+    obs::Counter* pairs_local = nullptr;     ///< shard.pairs_local
+    obs::Counter* pairs_remote = nullptr;    ///< shard.pairs_remote
+    obs::Gauge* rounds_last = nullptr;       ///< shard.rounds_last
+    obs::Gauge* residual_ppm = nullptr;      ///< shard.baseline_residual_ppm
+    obs::Gauge* boundary_edges = nullptr;    ///< shard.boundary_edges
+    obs::Histogram* local_us = nullptr;      ///< shard.local_us
+    obs::Histogram* exchange_us = nullptr;   ///< shard.exchange_us
+    obs::Histogram* reduce_us = nullptr;     ///< shard.reduce_us
+    obs::Histogram* scan_us = nullptr;       ///< shard.dirty_scan_us
+  };
+  ObsHandles obs_;
+};
+
+}  // namespace st::shard

@@ -1,0 +1,545 @@
+// Sharded-vs-centralized differential gate (DESIGN.md §16).
+//
+// The hard contract: AggregationMode::kSharded with the synchronous
+// exchange is bit-for-bit equal to kCentralized — adjusted ratings,
+// adjustment report, and wrapped-system reputations — at EVERY interval,
+// for every inner model, every shard count and every thread count. The
+// gossip exchange relaxes exactness to an epsilon-bounded residual but
+// stays fully deterministic for a fixed (seed, shard count).
+//
+// The matrix below drives 4 inner models x 3 scenario seeds; each
+// scenario replays the identical seeded event stream (ratings, social
+// churn, whitewashing — the dirty_pair_property_test generator) through
+// a centralized oracle and through sharded plugins at shards {1,2,4,8}
+// x threads {1,2,4}, comparing snapshots after every interval.
+//
+// Unit coverage for the pieces rides along: the deterministic
+// partitioner, SocialGraph::partition_view / boundary_edges, the
+// GossipExchange round schedule and flooding, and the shared
+// RevisionTracker scan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/socialtrust.hpp"
+#include "graph/generators.hpp"
+#include "reputation/beta.hpp"
+#include "reputation/ebay.hpp"
+#include "reputation/eigentrust.hpp"
+#include "reputation/paper_eigentrust.hpp"
+#include "shard/gossip_exchange.hpp"
+#include "shard/sharded_aggregator.hpp"
+#include "shard/partitioner.hpp"
+#include "stats/rng.hpp"
+
+namespace st {
+namespace {
+
+using core::InterestProfiles;
+using core::SocialTrustPlugin;
+using graph::Relationship;
+using graph::SocialGraph;
+using reputation::Rating;
+
+constexpr std::size_t kNodes = 48;
+constexpr std::size_t kInterests = 16;
+constexpr std::size_t kIntervals = 10;
+
+constexpr const char* kModelNames[] = {"Ebay", "EigenTrust",
+                                       "PaperEigenTrust", "Beta"};
+
+std::unique_ptr<reputation::ReputationSystem> make_inner(int model) {
+  switch (model) {
+    case 0:
+      return std::make_unique<reputation::EbayReputation>(kNodes);
+    case 1:
+      return std::make_unique<reputation::EigenTrust>(
+          kNodes, std::vector<reputation::NodeId>{0, 1});
+    case 2:
+      return std::make_unique<reputation::PaperEigenTrust>(
+          kNodes, std::vector<reputation::NodeId>{0, 1});
+    default:
+      return std::make_unique<reputation::BetaReputation>(kNodes);
+  }
+}
+
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bit patterns differ)";
+}
+
+Relationship random_relationship(stats::Rng& rng) {
+  return static_cast<Relationship>(rng.index(graph::kRelationshipCount));
+}
+
+/// The dirty_pair_property_test event generator: transaction ratings with
+/// substrate churn, re-ratings of existing pairs, and low-probability
+/// structural / profile edits. Pure function of the rng stream, so two
+/// scenario replays from the same seed see identical inputs.
+std::vector<Rating> random_interval(stats::Rng& rng, SocialGraph& g,
+                                    InterestProfiles& profiles) {
+  std::vector<Rating> ratings;
+  const std::size_t n_ratings = 40 + rng.index(80);
+  for (std::size_t q = 0; q < n_ratings; ++q) {
+    const auto rater = static_cast<reputation::NodeId>(rng.index(kNodes));
+    auto ratee = static_cast<reputation::NodeId>(rng.index(kNodes));
+    if (ratee == rater) ratee = (ratee + 1) % kNodes;
+    const auto interest =
+        static_cast<reputation::InterestId>(rng.index(kInterests));
+    ratings.push_back(Rating{rater, ratee,
+                             rng.bernoulli(0.75) ? 1.0 : -1.0, 0, 0,
+                             interest});
+    if (rng.bernoulli(0.4)) {
+      g.record_interaction(rater, ratee);
+      profiles.record_request(rater, interest);
+    }
+  }
+  while (rng.bernoulli(0.3)) {
+    const auto a = static_cast<graph::NodeId>(rng.index(kNodes));
+    auto b = static_cast<graph::NodeId>(rng.index(kNodes));
+    if (b == a) b = (b + 1) % kNodes;
+    if (rng.bernoulli(0.7)) {
+      g.add_relationship(a, b, random_relationship(rng));
+    } else {
+      g.remove_relationship(a, b, random_relationship(rng));
+    }
+  }
+  while (rng.bernoulli(0.25)) {
+    const auto node = static_cast<reputation::NodeId>(rng.index(kNodes));
+    const auto interest =
+        static_cast<reputation::InterestId>(rng.index(kInterests));
+    if (rng.bernoulli(0.5)) {
+      profiles.record_request(node, interest);
+    } else if (rng.bernoulli(0.5)) {
+      profiles.add_interest(node, interest);
+    } else {
+      profiles.remove_interest(node, interest);
+    }
+  }
+  return ratings;
+}
+
+/// Everything one interval produced that the differential gate compares.
+struct Snapshot {
+  std::vector<Rating> adjusted;
+  core::AdjustmentReport report;
+  std::vector<double> reputations;
+  // Sharded runs only (shards == 0 marks a centralized run).
+  std::size_t shards = 0;
+  bool converged = false;
+  double baseline_residual = 0.0;
+  std::size_t pairs_local = 0;
+  std::size_t pairs_remote = 0;
+};
+
+std::vector<Snapshot> run_scenario(int model, std::uint64_t seed,
+                                   const core::SocialTrustConfig& cfg) {
+  stats::Rng rng(seed);
+  SocialGraph g = graph::watts_strogatz(kNodes, 6, 0.2, rng);
+  InterestProfiles profiles(kNodes, kInterests);
+  for (graph::NodeId n = 0; n < kNodes; ++n) {
+    const reputation::InterestId ints[] = {
+        static_cast<reputation::InterestId>(n % kInterests),
+        static_cast<reputation::InterestId>((n + 5) % kInterests)};
+    profiles.set_interests(n, ints);
+  }
+  SocialTrustPlugin plugin(make_inner(model), g, profiles, cfg);
+
+  std::vector<Snapshot> out;
+  for (std::size_t t = 0; t < kIntervals; ++t) {
+    if (t > 2 && rng.bernoulli(0.15)) {
+      const auto w =
+          static_cast<reputation::NodeId>(2 + rng.index(kNodes - 2));
+      plugin.forget_node(w);
+      g.clear_node(w);
+      profiles.clear_requests(w);
+    }
+    const std::vector<Rating> ratings = random_interval(rng, g, profiles);
+    plugin.update(ratings);
+
+    Snapshot snap;
+    auto adj = plugin.last_adjusted();
+    snap.adjusted.assign(adj.begin(), adj.end());
+    snap.report = plugin.last_report();
+    auto rep = plugin.reputations();
+    snap.reputations.assign(rep.begin(), rep.end());
+    if (const shard::ShardStats* ss = plugin.last_shard_stats()) {
+      snap.shards = ss->shards;
+      snap.converged = ss->exchange.converged;
+      snap.baseline_residual = ss->baseline_residual;
+      snap.pairs_local = ss->pairs_local;
+      snap.pairs_remote = ss->pairs_remote;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void expect_identical(const Snapshot& a, const Snapshot& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.adjusted.size(), b.adjusted.size());
+  for (std::size_t i = 0; i < a.adjusted.size(); ++i) {
+    ASSERT_EQ(a.adjusted[i].rater, b.adjusted[i].rater) << i;
+    ASSERT_EQ(a.adjusted[i].ratee, b.adjusted[i].ratee) << i;
+    ASSERT_TRUE(bits_equal(a.adjusted[i].value, b.adjusted[i].value))
+        << "rating " << i;
+  }
+  ASSERT_EQ(a.report.pairs_total, b.report.pairs_total);
+  ASSERT_EQ(a.report.pairs_flagged, b.report.pairs_flagged);
+  ASSERT_EQ(a.report.ratings_adjusted, b.report.ratings_adjusted);
+  ASSERT_EQ(a.report.b1, b.report.b1);
+  ASSERT_EQ(a.report.b2, b.report.b2);
+  ASSERT_EQ(a.report.b3, b.report.b3);
+  ASSERT_EQ(a.report.b4, b.report.b4);
+  ASSERT_TRUE(bits_equal(a.report.mean_weight, b.report.mean_weight));
+  ASSERT_EQ(a.report.flagged.size(), b.report.flagged.size());
+  for (std::size_t i = 0; i < a.report.flagged.size(); ++i) {
+    ASSERT_EQ(a.report.flagged[i].rater, b.report.flagged[i].rater) << i;
+    ASSERT_EQ(a.report.flagged[i].ratee, b.report.flagged[i].ratee) << i;
+    ASSERT_EQ(a.report.flagged[i].behavior, b.report.flagged[i].behavior)
+        << i;
+    ASSERT_TRUE(bits_equal(a.report.flagged[i].weight,
+                           b.report.flagged[i].weight))
+        << i;
+  }
+  ASSERT_EQ(a.reputations.size(), b.reputations.size());
+  for (std::size_t v = 0; v < a.reputations.size(); ++v) {
+    ASSERT_TRUE(bits_equal(a.reputations[v], b.reputations[v]))
+        << "node " << v;
+  }
+}
+
+core::SocialTrustConfig base_config() {
+  core::SocialTrustConfig cfg;
+  cfg.threads = 1;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// The hard gate: synchronous sharded == centralized, bit for bit, at every
+// interval, for shards {1,2,4,8} x threads {1,2,4}.
+// ---------------------------------------------------------------------------
+
+class ShardedDifferential
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ShardedDifferential, SynchronousShardedMatchesCentralizedBitwise) {
+  const auto [model, seed] = GetParam();
+  const std::vector<Snapshot> oracle =
+      run_scenario(model, seed, base_config());
+
+  for (const std::size_t shards : {1UL, 2UL, 4UL, 8UL}) {
+    for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+      core::SocialTrustConfig cfg = base_config();
+      cfg.threads = threads;
+      cfg.aggregation = core::AggregationMode::kSharded;
+      cfg.exchange = core::ExchangeSchedule::kSynchronous;
+      cfg.shards = shards;
+      const std::vector<Snapshot> got = run_scenario(model, seed, cfg);
+      ASSERT_EQ(oracle.size(), got.size());
+      for (std::size_t t = 0; t < oracle.size(); ++t) {
+        expect_identical(oracle[t], got[t],
+                         "shards=" + std::to_string(shards) +
+                             " threads=" + std::to_string(threads) +
+                             " interval=" + std::to_string(t));
+        EXPECT_EQ(got[t].shards, shards);
+        EXPECT_TRUE(got[t].converged);
+        EXPECT_EQ(got[t].baseline_residual, 0.0);
+        EXPECT_EQ(got[t].pairs_local + got[t].pairs_remote,
+                  got[t].report.pairs_total);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gossip: epsilon-bounded against centralized, deterministic for a fixed
+// (seed, shard count), pair accounting exact.
+// ---------------------------------------------------------------------------
+
+TEST_P(ShardedDifferential, GossipConvergesWithinEpsilonAndIsDeterministic) {
+  const auto [model, seed] = GetParam();
+  const std::vector<Snapshot> oracle =
+      run_scenario(model, seed, base_config());
+
+  for (const std::size_t shards : {2UL, 8UL}) {
+    core::SocialTrustConfig cfg = base_config();
+    cfg.threads = 4;
+    cfg.aggregation = core::AggregationMode::kSharded;
+    cfg.exchange = core::ExchangeSchedule::kGossip;
+    cfg.shards = shards;
+    // Force the order-statistic sketch path: per-shard pair counts in
+    // this scenario comfortably exceed 8 points, so the rebuilt
+    // baselines are genuinely approximate, not raw-merged.
+    cfg.gossip_summary_points = 8;
+    const std::vector<Snapshot> got = run_scenario(model, seed, cfg);
+    const std::vector<Snapshot> again = run_scenario(model, seed, cfg);
+    ASSERT_EQ(oracle.size(), got.size());
+    for (std::size_t t = 0; t < oracle.size(); ++t) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " interval=" + std::to_string(t));
+      // Determinism is exact even where the values are approximate.
+      expect_identical(got[t], again[t], "replay");
+      // The pair population is order-independent bookkeeping: identical.
+      EXPECT_EQ(got[t].report.pairs_total, oracle[t].report.pairs_total);
+      ASSERT_EQ(got[t].adjusted.size(), oracle[t].adjusted.size());
+      EXPECT_TRUE(got[t].converged);
+      // The sketches bound how far any shard's rebuilt baselines sit
+      // from the exact centralized statistics...
+      EXPECT_LT(got[t].baseline_residual, 0.5);
+      // ...and the reputations the wrapped system integrates stay close
+      // to the centralized ones at every interval.
+      ASSERT_EQ(got[t].reputations.size(), oracle[t].reputations.size());
+      for (std::size_t v = 0; v < oracle[t].reputations.size(); ++v) {
+        EXPECT_NEAR(got[t].reputations[v], oracle[t].reputations[v], 0.15)
+            << "node " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndSeeds, ShardedDifferential,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(11ULL, 22ULL, 33ULL)),
+    [](const auto& param_info) {
+      return std::string(kModelNames[std::get<0>(param_info.param)]) +
+             "_seed" + std::to_string(std::get<1>(param_info.param));
+    });
+
+// A capped round budget must stop early, report non-convergence, and stay
+// deterministic — shards fall back to their partial views.
+TEST(ShardedGossipCapped, RoundBudgetRespectedAndDeterministic) {
+  core::SocialTrustConfig cfg = base_config();
+  cfg.aggregation = core::AggregationMode::kSharded;
+  cfg.exchange = core::ExchangeSchedule::kGossip;
+  cfg.shards = 8;
+  cfg.gossip_rounds = 1;  // one pairing round: at most 2 summaries known
+  const std::vector<Snapshot> a = run_scenario(2, 7ULL, cfg);
+  const std::vector<Snapshot> b = run_scenario(2, 7ULL, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    expect_identical(a[t], b[t], "interval " + std::to_string(t));
+    EXPECT_FALSE(a[t].converged) << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partitioner units.
+// ---------------------------------------------------------------------------
+
+TEST(Partitioner, ValidBalancedAndDeterministic) {
+  stats::Rng rng(99);
+  const SocialGraph g = graph::watts_strogatz(200, 6, 0.1, rng);
+  const shard::Partition p = shard::partition_graph(g, 5, 0xABCDEF);
+  ASSERT_EQ(p.shards, 5U);
+  ASSERT_EQ(p.owner.size(), 200U);
+  ASSERT_EQ(p.members.size(), 5U);
+
+  std::size_t total = 0;
+  const std::size_t cap = (200 + 4) / 5 + (200 / 5) / 10 + 1;
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_LE(p.members[s].size(), cap) << "shard " << s;
+    EXPECT_TRUE(std::is_sorted(p.members[s].begin(), p.members[s].end()));
+    for (std::size_t k = 0; k < p.members[s].size(); ++k) {
+      const graph::NodeId v = p.members[s][k];
+      EXPECT_EQ(p.owner[v], s);
+      EXPECT_EQ(p.local_index[v], k);
+    }
+    total += p.members[s].size();
+  }
+  EXPECT_EQ(total, 200U);
+  EXPECT_EQ(p.cut_edges, g.boundary_edges(p.owner).size());
+  EXPECT_EQ(p.total_edges, g.edge_count());
+
+  const shard::Partition q = shard::partition_graph(g, 5, 0xABCDEF);
+  EXPECT_EQ(p.owner, q.owner);
+  const shard::Partition r = shard::partition_graph(g, 5, 0x123456);
+  EXPECT_NE(p.owner, r.owner);
+}
+
+TEST(Partitioner, EdgelessGraphIsPureInternedHash) {
+  // With no adjacency to refine against, the assignment must be exactly
+  // the phase-1 hash — the churn-stability anchor: owner(v) never depends
+  // on any other node.
+  const SocialGraph g(64);
+  const std::uint64_t seed = 0x5EED;
+  const shard::Partition p = shard::partition_graph(g, 4, seed);
+  for (graph::NodeId v = 0; v < 64; ++v) {
+    EXPECT_EQ(p.owner[v],
+              static_cast<std::uint32_t>(shard::mix64(v ^ seed) % 4));
+  }
+}
+
+TEST(Partitioner, ShardCountClamped) {
+  const SocialGraph g(10);
+  EXPECT_EQ(shard::partition_graph(g, 0, 1).shards, 1U);
+  EXPECT_EQ(shard::partition_graph(g, 200, 1).shards, 64U);
+}
+
+TEST(Partitioner, RefinementDoesNotIncreaseCut) {
+  stats::Rng rng(4);
+  const SocialGraph g = graph::watts_strogatz(300, 8, 0.05, rng);
+  const shard::Partition p = shard::partition_graph(g, 4, 77);
+  // The pure hash cut, for reference.
+  std::vector<std::uint32_t> hash_owner(300);
+  for (graph::NodeId v = 0; v < 300; ++v) {
+    hash_owner[v] = static_cast<std::uint32_t>(shard::mix64(v ^ 77ULL) % 4);
+  }
+  EXPECT_LE(p.cut_edges, g.boundary_edges(hash_owner).size());
+}
+
+// ---------------------------------------------------------------------------
+// SocialGraph partition plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionView, RowsComeBackInMemberOrder) {
+  SocialGraph g(6);
+  g.add_relationship(0, 1, Relationship::kFriendship);
+  g.add_relationship(2, 3, Relationship::kFriendship);
+  g.add_relationship(2, 5, Relationship::kFriendship);
+  const std::vector<graph::NodeId> members = {0, 2, 5};
+  const auto view = g.partition_view(members);
+  ASSERT_EQ(view.size(), 3U);
+  EXPECT_EQ(view.row(0).node, 0U);
+  ASSERT_EQ(view.row(0).neighbors.size(), 1U);
+  EXPECT_EQ(view.row(0).neighbors[0], 1U);
+  EXPECT_EQ(view.row(1).node, 2U);
+  EXPECT_EQ(view.row(1).neighbors.size(), 2U);
+  EXPECT_EQ(view.row(2).node, 5U);
+  ASSERT_EQ(view.row(2).neighbors.size(), 1U);
+  EXPECT_EQ(view.row(2).neighbors[0], 2U);
+}
+
+TEST(BoundaryEdges, CrossOwnerPairsOnlyAscending) {
+  SocialGraph g(5);
+  g.add_relationship(0, 1, Relationship::kFriendship);  // same shard
+  g.add_relationship(1, 2, Relationship::kFriendship);  // cross
+  g.add_relationship(3, 4, Relationship::kFriendship);  // cross
+  const std::vector<std::uint32_t> owner = {0, 0, 1, 1, 0};
+  const auto edges = g.boundary_edges(owner);
+  ASSERT_EQ(edges.size(), 2U);
+  EXPECT_EQ(edges[0], (std::pair<graph::NodeId, graph::NodeId>{1, 2}));
+  EXPECT_EQ(edges[1], (std::pair<graph::NodeId, graph::NodeId>{3, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// GossipExchange units.
+// ---------------------------------------------------------------------------
+
+TEST(GossipExchange, RoundOrderIsASeededPermutation) {
+  const shard::GossipExchange ex(8, 42, 0);
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::vector<std::uint32_t> order = ex.round_order(r);
+    ASSERT_EQ(order.size(), 8U);
+    std::vector<std::uint32_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t s = 0; s < 8; ++s) EXPECT_EQ(sorted[s], s);
+  }
+  // Same seed -> same schedule; different seed -> different schedule.
+  const shard::GossipExchange ex2(8, 42, 0);
+  EXPECT_EQ(ex.round_order(3), ex2.round_order(3));
+  const shard::GossipExchange ex3(8, 43, 0);
+  bool any_differs = false;
+  for (std::size_t r = 0; r < 4 && !any_differs; ++r) {
+    any_differs = ex.round_order(r) != ex3.round_order(r);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(GossipExchange, FloodingReachesAllKnowAll) {
+  const std::vector<std::uint64_t> bytes(8, 100);
+  const shard::GossipExchange ex(8, 7, 0);
+  std::vector<std::uint64_t> known;
+  const shard::ExchangeStats st = ex.run_gossip(bytes, known);
+  EXPECT_TRUE(st.converged);
+  EXPECT_GT(st.rounds, 0U);
+  EXPECT_LE(st.rounds, 4U * 8U + 8U);
+  ASSERT_EQ(known.size(), 8U);
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(known[s], (1ULL << 8) - 1) << "shard " << s;
+  }
+  EXPECT_GT(st.boundary_bytes, 0U);
+  EXPECT_GT(st.messages, 0U);
+}
+
+TEST(GossipExchange, CappedBudgetStopsEarly) {
+  const std::vector<std::uint64_t> bytes(16, 10);
+  const shard::GossipExchange ex(16, 7, 1);
+  std::vector<std::uint64_t> known;
+  const shard::ExchangeStats st = ex.run_gossip(bytes, known);
+  EXPECT_EQ(st.rounds, 1U);
+  EXPECT_FALSE(st.converged);
+  for (std::size_t s = 0; s < 16; ++s) {
+    EXPECT_TRUE(known[s] & (1ULL << s)) << "shard must know itself";
+    EXPECT_LE(std::popcount(known[s]), 2) << "one round: at most 2 known";
+  }
+}
+
+TEST(GossipExchange, SynchronousIsOneAllGatherRound) {
+  const std::vector<std::uint64_t> bytes = {100, 200, 300, 400};
+  const shard::GossipExchange ex(4, 1, 0);
+  std::vector<std::uint64_t> known;
+  const shard::ExchangeStats st = ex.run_synchronous(bytes, known);
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(st.rounds, 1U);
+  EXPECT_EQ(st.messages, 4U * 3U);
+  // Every summary travels to the S-1 other shards.
+  EXPECT_EQ(st.boundary_bytes, (100U + 200U + 300U + 400U) * 3U);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(known[s], 0xFULL);
+}
+
+TEST(GossipExchange, SingleShardNeedsNoExchange) {
+  const std::vector<std::uint64_t> bytes = {123};
+  const shard::GossipExchange ex(1, 9, 0);
+  std::vector<std::uint64_t> known;
+  const shard::ExchangeStats st = ex.run_gossip(bytes, known);
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(st.boundary_bytes, 0U);
+  EXPECT_EQ(known[0], 1ULL);
+}
+
+// ---------------------------------------------------------------------------
+// Shared revision scan.
+// ---------------------------------------------------------------------------
+
+TEST(RevisionTracker, DeltaFlagsExactlyTheChangedNodes) {
+  SocialGraph g(8);
+  InterestProfiles profiles(8, 4);
+  core::SocialStateCache::RevisionTracker tracker;
+
+  // First collect: epochs move from their sentinels, everything sweeps.
+  const auto& first = tracker.collect(g, profiles);
+  EXPECT_TRUE(first.sweep_closeness);
+  EXPECT_TRUE(first.sweep_similarity);
+
+  // Quiescent interval: both gates stay shut.
+  const auto& idle = tracker.collect(g, profiles);
+  EXPECT_FALSE(idle.sweep_closeness);
+  EXPECT_FALSE(idle.sweep_similarity);
+
+  // One edge, one profile edit: only the touched nodes flag.
+  g.add_relationship(2, 5, Relationship::kFriendship);
+  profiles.record_request(3, 1);
+  const auto& delta = tracker.collect(g, profiles);
+  EXPECT_TRUE(delta.sweep_closeness);
+  EXPECT_TRUE(delta.sweep_similarity);
+  for (std::size_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(delta.graph_changed[v] != 0, v == 2 || v == 5) << v;
+    EXPECT_EQ(delta.profile_changed[v] != 0, v == 3) << v;
+  }
+}
+
+}  // namespace
+}  // namespace st

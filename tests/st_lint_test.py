@@ -224,6 +224,75 @@ void rebuild(std::vector<std::vector<std::uint32_t>>& rows,
 """)
         self.assert_clean(self.lint(f))
 
+    def test_det2_hash_order_shard_iteration_fires(self) -> None:
+        # Building a shard exchange schedule by walking an unordered_map
+        # of per-shard summaries emits boundary messages in hash order —
+        # the gossip transcript then differs run to run. src/shard/ is in
+        # DET2_SCOPE_PREFIXES for exactly this shape.
+        f = self.write("src/shard/bad_exchange.cpp", """
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+std::vector<std::uint32_t> schedule(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& summaries) {
+  std::vector<std::uint32_t> order;
+  for (const auto& [shard, bytes] : summaries) {
+    order.push_back(shard);
+  }
+  return order;
+}
+""")
+        self.assert_fires(self.lint(f), "DET-2")
+
+    def test_det1_rand_seeded_shard_pairing_fires(self) -> None:
+        # Pairing shards off rand() makes the exchange schedule a
+        # function of the process, not of (seed, round).
+        f = self.write("src/shard/bad_pairing.cpp", """
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+std::vector<std::uint32_t> pairing(std::size_t shards) {
+  std::vector<std::uint32_t> order(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    order[i] = static_cast<std::uint32_t>(rand() % shards);
+  }
+  return order;
+}
+""")
+        self.assert_fires(self.lint(f), "DET-1")
+
+    def test_det_sorted_round_robin_pairing_passes(self) -> None:
+        # The shipped shape (gossip_exchange.cpp): a seeded splitmix
+        # Fisher-Yates over dense shard ids — pure function of
+        # (seed, round), no hash order, no process entropy.
+        f = self.write("src/shard/ok_pairing.cpp", """
+#include <cstdint>
+#include <utility>
+#include <vector>
+namespace {
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+std::vector<std::uint32_t> pairing(std::size_t shards, std::uint64_t seed,
+                                   std::size_t round) {
+  std::vector<std::uint32_t> order(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    order[s] = static_cast<std::uint32_t>(s);
+  }
+  std::uint64_t state = mix64(seed ^ (round + 1));
+  for (std::size_t i = shards; i > 1; --i) {
+    state = mix64(state);
+    std::swap(order[i - 1], order[state % i]);
+  }
+  return order;
+}
+""")
+        self.assert_clean(self.lint(f))
+
     def test_det2_accumulate_over_begin(self) -> None:
         f = self.write("src/core/bad.cpp", """
 #include <numeric>

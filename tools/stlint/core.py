@@ -61,7 +61,7 @@ RULES = {
 # /tmp/xyz/src/core/f.cpp scope the same way.
 DET1_ALLOWED_PREFIXES = ("src/stats/rng.",)
 DET2_SCOPE_PREFIXES = ("src/core/", "src/graph/", "src/reputation/",
-                       "src/sim/")
+                       "src/shard/", "src/sim/")
 CON1_ALLOWED_PREFIXES = ("src/util/thread_pool.",)
 CON2_ALLOWED_PREFIXES: tuple[str, ...] = ()
 # The annotated Mutex wrapper implements RAII guards, so its internals

@@ -248,6 +248,12 @@ def _own_header_rel(rel: str, index: ProjectIndex) -> str | None:
 
 def check_det4(index: ProjectIndex, graph: CallGraph,
                findings: list[Finding]) -> None:
+    # Walk the finalized (global) records, not the raw per-file facts:
+    # _root_type_words resolves a lambda's enclosing-scope types through
+    # the parent chain, which only the global records can address.
+    fns_by_file: dict[str, list[dict]] = {}
+    for fn in index.functions:
+        fns_by_file.setdefault(fn["_file"], []).append(fn)
     for rel in sorted(index.files):
         if not in_scope(rel, DET2_SCOPE_PREFIXES):
             continue
@@ -257,7 +263,7 @@ def check_det4(index: ProjectIndex, graph: CallGraph,
         if header_rel is not None:
             visible |= {name for name, _ in
                         index.files[header_rel].get("accessor_sites", [])}
-        for fn in facts.get("functions", []):
+        for fn in fns_by_file.get(rel, []):
             for it in fn["iters"]:
                 if not (it["accum"] or it["sink"]):
                     continue
