@@ -70,8 +70,8 @@ bool ReferenceSocialGraph::add_relationship(NodeId a, NodeId b, Relationship r) 
     return true;
   };
   bool added = insert_half(a, b);
-  insert_half(b, a);
-  if (added) bump_structure(a, b);
+  bool added_rev = insert_half(b, a);
+  if (added || added_rev) bump_structure(a, b);
   // A brand-new adjacency (as opposed to one more type on an existing
   // edge) is the only mutation that can create or shorten paths.
   if (new_edge) ++addition_epoch_;
@@ -95,8 +95,8 @@ bool ReferenceSocialGraph::remove_relationship(NodeId a, NodeId b, Relationship 
     return true;
   };
   bool removed = remove_half(a, b);
-  remove_half(b, a);
-  if (removed) bump_structure(a, b);
+  bool removed_rev = remove_half(b, a);
+  if (removed || removed_rev) bump_structure(a, b);
   return removed;
 }
 

@@ -261,8 +261,10 @@ bool SocialGraph::add_relationship(NodeId a, NodeId b, Relationship r) {
     return true;
   };
   const bool added = insert_half(a, b);
-  insert_half(b, a);
-  if (added) bump_structure(a, b);
+  const bool added_rev = insert_half(b, a);
+  // The halves are symmetric, but bump on either so a broken half-edge
+  // invariant can never strand an un-revisioned write.
+  if (added || added_rev) bump_structure(a, b);
   // A brand-new adjacency (as opposed to one more type on an existing
   // edge) is the only mutation that can create or shorten paths.
   if (new_edge) ++addition_epoch_;
@@ -298,8 +300,8 @@ bool SocialGraph::remove_relationship(NodeId a, NodeId b, Relationship r) {
     return true;
   };
   const bool removed = remove_half(a, b);
-  remove_half(b, a);
-  if (removed) bump_structure(a, b);
+  const bool removed_rev = remove_half(b, a);
+  if (removed || removed_rev) bump_structure(a, b);
   maybe_rebuild();
   return removed;
 }

@@ -40,6 +40,10 @@ struct ExchangeStats {
   std::uint64_t messages = 0;        ///< point-to-point sends
 };
 
+/// Immutable after construction: both run_* schedules are const and
+/// derive everything from the ctor parameters plus their arguments, so
+/// one instance may be shared across threads without locking (SHD-1's
+/// boundary-state rules key off the run_*/merge function names instead).
 class GossipExchange {
  public:
   /// `shards` must be in [1, 64] (known sets are 64-bit masks).

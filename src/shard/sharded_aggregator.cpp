@@ -412,9 +412,11 @@ void ShardedAggregator::update(
     core::SocialTrustPlugin::DirtyStats& dirty_stats) {
   ensure_partition();
   const std::size_t S = part_->shards;
-  stats_ = ShardStats{};
-  stats_.shards = S;
-  stats_.boundary_edges = part_->cut_edges;
+  // The interval's stats accumulate in a local and publish once at the
+  // end, so stats_ itself is only ever touched under stats_mutex_.
+  ShardStats stats;
+  stats.shards = S;
+  stats.boundary_edges = part_->cut_edges;
   const bool sync = config_.exchange == core::ExchangeSchedule::kSynchronous;
 
   // --- Phases A + B: shard-local work --------------------------------------
@@ -482,7 +484,7 @@ void ShardedAggregator::update(
   }
 
   for_each_shard([&](std::size_t s) { shard_phase_b(s); });
-  stats_.local_us = local_timer.stop();
+  stats.local_us = local_timer.stop();
 
   // --- Phase C: merge + boundary exchange ----------------------------------
   obs::ScopedTimer exchange_timer(*obs_.exchange_us);
@@ -491,9 +493,9 @@ void ShardedAggregator::update(
   // across shards and each list is (rater, ratee)-ascending, so the merge
   // IS the global canonical order the centralized sort produces.
   std::size_t total = 0;
-  stats_.shard_pairs.resize(S);
+  stats.shard_pairs.resize(S);
   for (std::size_t s = 0; s < S; ++s) {
-    stats_.shard_pairs[s] = shards_[s]->keys.size();
+    stats.shard_pairs[s] = shards_[s]->keys.size();
     total += shards_[s]->keys.size();
   }
   m_keys_.clear();
@@ -543,9 +545,9 @@ void ShardedAggregator::update(
       }
       m_ridx_off_.push_back(static_cast<std::uint32_t>(m_ridx_.size()));
       if (part_->owner[key.ratee] == best) {
-        ++stats_.pairs_local;
+        ++stats.pairs_local;
       } else {
-        ++stats_.pairs_remote;
+        ++stats.pairs_remote;
       }
     }
   }
@@ -578,10 +580,10 @@ void ShardedAggregator::update(
   std::vector<std::uint64_t> known;
   std::vector<ShardView> views(S);
   if (sync) {
-    stats_.exchange = exchange.run_synchronous(payload, known);
+    stats.exchange = exchange.run_synchronous(payload, known);
     for (auto& v : views) v = exact_view;
   } else {
-    stats_.exchange = exchange.run_gossip(payload, known);
+    stats.exchange = exchange.run_gossip(payload, known);
     for (std::size_t s = 0; s < S; ++s) views[s] = merge_known(known[s]);
 
     // Reputation digests: refresh owned entries from the wrapped system,
@@ -617,13 +619,13 @@ void ShardedAggregator::update(
                                v.c.min,    v.c.max,  v.s.mean,
                                v.s.stddev, v.s.min,  v.s.max};
       for (std::size_t q = 0; q < std::size(quantities); ++q) {
-        stats_.baseline_residual =
-            std::max(stats_.baseline_residual,
+        stats.baseline_residual =
+            std::max(stats.baseline_residual,
                      std::fabs(approx[q] - quantities[q]) / scale);
       }
     }
   }
-  stats_.exchange_us = exchange_timer.stop();
+  stats.exchange_us = exchange_timer.stop();
 
   // --- Phase D: detect and adjust over the merged order --------------------
   obs::ScopedTimer reduce_timer(*obs_.reduce_us);
@@ -707,7 +709,7 @@ void ShardedAggregator::update(
       report.ratings_adjusted > 0
           ? weight_sum / static_cast<double>(report.ratings_adjusted)
           : 1.0;
-  stats_.reduce_us = reduce_timer.stop();
+  stats.reduce_us = reduce_timer.stop();
 
   for (const auto& st : shards_) {
     dirty_stats.pairs_dirty += st->pairs_dirty;
@@ -716,32 +718,37 @@ void ShardedAggregator::update(
     dirty_stats.raters_carried += st->raters_carried;
   }
 
+  {
+    util::MutexLock lock(stats_mutex_);
+    stats_ = stats;
+  }
+
   if (obs::enabled()) {
     obs_.intervals->add(1);
-    obs_.exchange_rounds->add(stats_.exchange.rounds);
-    obs_.boundary_bytes->add(stats_.exchange.boundary_bytes);
-    obs_.messages->add(stats_.exchange.messages);
-    obs_.pairs_local->add(stats_.pairs_local);
-    obs_.pairs_remote->add(stats_.pairs_remote);
-    obs_.rounds_last->set(static_cast<std::int64_t>(stats_.exchange.rounds));
+    obs_.exchange_rounds->add(stats.exchange.rounds);
+    obs_.boundary_bytes->add(stats.exchange.boundary_bytes);
+    obs_.messages->add(stats.exchange.messages);
+    obs_.pairs_local->add(stats.pairs_local);
+    obs_.pairs_remote->add(stats.pairs_remote);
+    obs_.rounds_last->set(static_cast<std::int64_t>(stats.exchange.rounds));
     obs_.residual_ppm->set(
-        static_cast<std::int64_t>(stats_.baseline_residual * 1e6));
+        static_cast<std::int64_t>(stats.baseline_residual * 1e6));
     obs_.boundary_edges->set(
-        static_cast<std::int64_t>(stats_.boundary_edges));
+        static_cast<std::int64_t>(stats.boundary_edges));
     const obs::ExtraField extras[] = {
         {"shards", static_cast<double>(S)},
-        {"exchange_rounds", static_cast<double>(stats_.exchange.rounds)},
-        {"converged", stats_.exchange.converged ? 1.0 : 0.0},
+        {"exchange_rounds", static_cast<double>(stats.exchange.rounds)},
+        {"converged", stats.exchange.converged ? 1.0 : 0.0},
         {"boundary_bytes",
-         static_cast<double>(stats_.exchange.boundary_bytes)},
-        {"messages", static_cast<double>(stats_.exchange.messages)},
-        {"boundary_edges", static_cast<double>(stats_.boundary_edges)},
-        {"pairs_local", static_cast<double>(stats_.pairs_local)},
-        {"pairs_remote", static_cast<double>(stats_.pairs_remote)},
-        {"baseline_residual_ppm", stats_.baseline_residual * 1e6},
-        {"local_us", stats_.local_us},
-        {"exchange_us", stats_.exchange_us},
-        {"reduce_us", stats_.reduce_us},
+         static_cast<double>(stats.exchange.boundary_bytes)},
+        {"messages", static_cast<double>(stats.exchange.messages)},
+        {"boundary_edges", static_cast<double>(stats.boundary_edges)},
+        {"pairs_local", static_cast<double>(stats.pairs_local)},
+        {"pairs_remote", static_cast<double>(stats.pairs_remote)},
+        {"baseline_residual_ppm", stats.baseline_residual * 1e6},
+        {"local_us", stats.local_us},
+        {"exchange_us", stats.exchange_us},
+        {"reduce_us", stats.reduce_us},
     };
     obs::Obs::instance().emit_interval("shard.update", name_, extras);
   }
@@ -798,6 +805,7 @@ void ShardedAggregator::reset() {
     st.rep_view.clear();
   }
   rep_views_initialized_ = false;
+  util::MutexLock lock(stats_mutex_);
   stats_ = ShardStats{};
 }
 

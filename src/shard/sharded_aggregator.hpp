@@ -64,6 +64,7 @@
 #include "core/socialtrust.hpp"
 #include "shard/gossip_exchange.hpp"
 #include "shard/partitioner.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace st::shard {
 
@@ -139,7 +140,16 @@ class ShardedAggregator {
   /// is fixed for the graph's lifetime).
   void reset();
 
-  const ShardStats& last_stats() const noexcept { return stats_; }
+  /// Last committed interval's diagnostics. update() publishes stats_
+  /// exactly once, under stats_mutex_, after every parallel phase has
+  /// joined; callers read it from the coordinating thread between
+  /// intervals, so the reference stays stable for as long as the caller
+  /// holds it (the analysis escape hatch records that external
+  /// happens-before, which clang cannot see through a const reference).
+  const ShardStats& last_stats() const noexcept
+      ST_NO_THREAD_SAFETY_ANALYSIS {
+    return stats_;
+  }
 
   /// Null until the first update() (the partition is cut against the
   /// graph as first observed, then held fixed).
@@ -242,7 +252,13 @@ class ShardedAggregator {
   core::SocialStateCache::RevisionTracker tracker_;
   bool rep_views_initialized_ = false;
 
-  ShardStats stats_;
+  /// Guards the committed stats_ snapshot. Every interval accumulates
+  /// its diagnostics in a function-local ShardStats and publishes here
+  /// once (compute outside / publish under the lock, DESIGN.md §13) —
+  /// the clang -Wthread-safety leg statically rejects any stray write,
+  /// cross-checking st-lint's SHD-1 phase discipline.
+  mutable util::Mutex stats_mutex_;
+  ShardStats stats_ ST_GUARDED_BY(stats_mutex_);
 
   // Merged (global canonical order) per-interval scratch.
   std::vector<PairKey> m_keys_;

@@ -1685,5 +1685,710 @@ class SarifOutputTests(LintFixtureCase):
             ["startLine"], 1)
 
 
+class CfgCase(CallGraphCase):
+    """Base for in-process assertions against the v4 per-function CFGs
+    serialised into the fact records."""
+
+    def cfg_of(self, src: str, qname: str) -> tuple[dict, list[dict]]:
+        index, _ = self.build_graph({"src/core/cfg_fix.cpp": src})
+        fn = self.fn_by_qname(index, qname)
+        blocks = fn["cfg"]["blocks"]
+        self.assertGreaterEqual(len(blocks), 3)  # entry/exit/raise
+        return fn, blocks
+
+    @staticmethod
+    def kinds(blocks: list[dict]) -> list[str]:
+        return [b["k"] for b in blocks]
+
+    @staticmethod
+    def by_kind(blocks: list[dict], kind: str) -> list[int]:
+        return [i for i, b in enumerate(blocks) if b["k"] == kind]
+
+
+class CfgBuilderTests(CfgCase):
+    """Shape of the basic-block graphs build_cfg produces."""
+
+    def test_if_else_splits_then_else_join(self) -> None:
+        _, blocks = self.cfg_of("""
+struct C {
+  void f(int x) {
+    if (x) { a_ = 1; } else { a_ = 2; }
+    a_ = 3;
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        ks = self.kinds(blocks)
+        self.assertIn("then", ks)
+        self.assertIn("else", ks)
+        self.assertIn("join", ks)
+        # both arms carry exactly one write event and meet at the join
+        then_b = blocks[self.by_kind(blocks, "then")[0]]
+        else_b = blocks[self.by_kind(blocks, "else")[0]]
+        self.assertEqual(len(then_b["ev"]), 1)
+        self.assertEqual(len(else_b["ev"]), 1)
+        self.assertEqual(then_b["s"], else_b["s"])
+
+    def test_early_return_records_line_and_exits(self) -> None:
+        from stlint.cfg import EXIT
+        _, blocks = self.cfg_of("""
+struct C {
+  int f(int x) {
+    if (x) return 0;
+    a_ = 1;
+    return a_;
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        then_id = self.by_kind(blocks, "then")[0]
+        self.assertIn(EXIT, blocks[then_id]["s"])
+        self.assertIn("r", blocks[then_id])
+
+    def test_while_loop_has_back_edge(self) -> None:
+        _, blocks = self.cfg_of("""
+struct C {
+  void f(int n) {
+    while (n > 0) { a_ = a_ + 1; n = n - 1; }
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        hdr = self.by_kind(blocks, "loop")[0]
+        # some block downstream of the body points back at the header
+        self.assertTrue(any(hdr in b["s"] and i != hdr
+                            for i, b in enumerate(blocks) if i > hdr),
+                        f"no back edge to loop header in {blocks}")
+
+    def test_classic_for_gets_step_block(self) -> None:
+        _, blocks = self.cfg_of("""
+struct C {
+  void f(int n) {
+    for (int i = 0; i < n; i = i + 1) { a_ = a_ + i; }
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        steps = self.by_kind(blocks, "step")
+        self.assertEqual(len(steps), 1)
+        hdr = self.by_kind(blocks, "loop")[0]
+        self.assertIn(hdr, blocks[steps[0]]["s"])
+
+    def test_range_for_has_no_step_block(self) -> None:
+        _, blocks = self.cfg_of("""
+struct C {
+  void f() {
+    for (int v : items_) { a_ = a_ + v; }
+  }
+  int a_ = 0;
+  int items_[4] = {0, 1, 2, 3};
+};
+""", "C::f")
+        self.assertEqual(self.by_kind(blocks, "step"), [])
+        self.assertTrue(self.by_kind(blocks, "loop"))
+
+    def test_do_while_body_precedes_condition(self) -> None:
+        from stlint.cfg import ENTRY
+        _, blocks = self.cfg_of("""
+struct C {
+  void f(int n) {
+    do { a_ = a_ + 1; } while (n > a_);
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        body = self.by_kind(blocks, "body")[0]
+        loop = self.by_kind(blocks, "loop")[0]
+        self.assertIn(body, blocks[ENTRY]["s"])  # body runs first
+        self.assertIn(body, blocks[loop]["s"])   # and again on true
+
+    def test_switch_fallthrough_edges_between_arms(self) -> None:
+        _, blocks = self.cfg_of("""
+struct C {
+  void f(int x) {
+    switch (x) {
+      case 0:
+        a_ = 1;          // falls through
+      case 1:
+        a_ = 2;
+        break;
+      default:
+        a_ = 3;
+    }
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        cases = self.by_kind(blocks, "case")
+        self.assertEqual(len(cases), 3)
+        self.assertIn(cases[1], blocks[cases[0]]["s"],
+                      "case 0 must fall through into case 1")
+        self.assertNotIn(cases[2], blocks[cases[1]]["s"],
+                         "break must stop the case-1 arm falling through")
+
+    def test_switch_without_default_may_skip_all_arms(self) -> None:
+        _, blocks = self.cfg_of("""
+struct C {
+  void f(int x) {
+    switch (x) {
+      case 0: a_ = 1; break;
+    }
+    a_ = 2;
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        case_b = self.by_kind(blocks, "case")[0]
+        dispatch = next(i for i, b in enumerate(blocks)
+                        if case_b in b["s"])
+        # the dispatching block also jumps straight past the arms
+        self.assertGreaterEqual(len(blocks[dispatch]["s"]), 2)
+
+    def test_break_leaves_loop_not_function(self) -> None:
+        from stlint.cfg import EXIT
+        _, blocks = self.cfg_of("""
+struct C {
+  void f(int n) {
+    while (n > 0) {
+      if (n == 3) break;
+      n = n - 1;
+    }
+    a_ = 1;
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        then_b = blocks[self.by_kind(blocks, "then")[0]]
+        self.assertNotIn(EXIT, then_b["s"])
+        hdr = self.by_kind(blocks, "loop")[0]
+        # break target is also a successor of the loop header (its exit)
+        self.assertTrue(set(then_b["s"]) & set(blocks[hdr]["s"]))
+
+    def test_continue_jumps_to_step_block(self) -> None:
+        _, blocks = self.cfg_of("""
+struct C {
+  void f(int n) {
+    for (int i = 0; i < n; i = i + 1) {
+      if (i == 2) continue;
+      a_ = a_ + i;
+    }
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        step = self.by_kind(blocks, "step")[0]
+        then_b = blocks[self.by_kind(blocks, "then")[0]]
+        self.assertIn(step, then_b["s"])
+
+    def test_try_blocks_point_at_catch_head(self) -> None:
+        _, blocks = self.cfg_of("""
+struct C {
+  void f() {
+    try {
+      a_ = 1;
+    } catch (...) {
+      a_ = 0;
+    }
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        catches = self.by_kind(blocks, "catch")
+        self.assertEqual(len(catches), 1)
+        try_bodies = [b for b in blocks
+                      if b["k"] == "body" and catches[0] in b["s"]]
+        self.assertTrue(try_bodies, "try body must edge into the handler")
+        self.assertEqual(try_bodies[0].get("c"), catches)
+
+    def test_uncaught_throw_edges_to_raise_sink(self) -> None:
+        from stlint.cfg import RAISE
+        _, blocks = self.cfg_of("""
+struct C {
+  void f(int x) {
+    if (x < 0) throw x;
+    a_ = x;
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        self.assertTrue(any(RAISE in b["s"] for b in blocks))
+
+    def test_ternary_with_writes_splits_arms(self) -> None:
+        _, blocks = self.cfg_of("""
+struct C {
+  void f(bool c) {
+    c ? (a_ = 1) : (a_ = 2);
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        self.assertIn("then", self.kinds(blocks))
+        self.assertIn("else", self.kinds(blocks))
+
+    def test_guard_idents_recorded_on_branch(self) -> None:
+        _, blocks = self.cfg_of("""
+struct C {
+  void f(bool added) {
+    if (added) a_ = 1;
+  }
+  int a_ = 0;
+};
+""", "C::f")
+        then_b = blocks[self.by_kind(blocks, "then")[0]]
+        self.assertEqual(then_b.get("g"), ["added"])
+
+
+class DataflowTests(unittest.TestCase):
+    """The worklist framework itself, over hand-built graphs."""
+
+    #      0 -> 3 -> {4, 5} -> 6 -> 1      (2 = raise, unused)
+    DIAMOND = [
+        {"s": [3], "ev": []}, {"s": [], "ev": []}, {"s": [], "ev": []},
+        {"s": [4, 5], "ev": []}, {"s": [6], "ev": []},
+        {"s": [6], "ev": []}, {"s": [1], "ev": []},
+    ]
+
+    @staticmethod
+    def _transfer(gen: dict[int, str]):
+        from stlint import dataflow
+
+        def transfer(bid: int, state: dataflow.State) -> dataflow.State:
+            if bid in gen:
+                return state | {gen[bid]}
+            return state
+        return transfer
+
+    def test_union_meet_keeps_one_path_facts(self) -> None:
+        from stlint import dataflow
+        ins = dataflow.solve(self.DIAMOND, 0, dataflow.EMPTY,
+                             self._transfer({4: "x"}))
+        self.assertEqual(ins[6], frozenset({"x"}))
+
+    def test_intersect_meet_requires_every_path(self) -> None:
+        from stlint import dataflow
+        ins = dataflow.solve(self.DIAMOND, 0, dataflow.EMPTY,
+                             self._transfer({4: "x"}), meet="intersect")
+        self.assertEqual(ins[6], frozenset())
+        ins = dataflow.solve(self.DIAMOND, 0, dataflow.EMPTY,
+                             self._transfer({4: "x", 5: "x"}),
+                             meet="intersect")
+        self.assertEqual(ins[6], frozenset({"x"}))
+
+    def test_find_trace_returns_shortest_witness(self) -> None:
+        from stlint import dataflow
+        transfer = self._transfer({4: "x"})
+        path = dataflow.find_trace(
+            self.DIAMOND, 0, dataflow.EMPTY, transfer,
+            lambda bid, state: bid == 6 and "x" in state)
+        self.assertEqual(path, [0, 3, 4, 6])
+        clean = dataflow.find_trace(
+            self.DIAMOND, 0, dataflow.EMPTY, transfer,
+            lambda bid, state: bid == 6 and "y" in state)
+        self.assertEqual(clean, [])
+
+
+class Rev1PathSensitivityTests(LintFixtureCase):
+    """REV-1: per-path revision-protocol enforcement, including the
+    seeded early-return bug API-2's whole-closure boolean cannot see."""
+
+    EARLY_RETURN = """
+class SocialGraph {
+ public:
+  bool set_weight(unsigned a, unsigned w) {
+    weight_ = w;
+    if (w == 0) return false;
+    bump_value(a);
+    return true;
+  }
+ private:
+  void bump_value(unsigned a) { rev_ = rev_ + 1; }
+  unsigned weight_ = 0;
+  unsigned rev_ = 0;
+};
+"""
+
+    def test_early_return_skipping_bump_fires_with_witness(self) -> None:
+        f = self.write("src/graph/sg_rev.cpp", self.EARLY_RETURN)
+        proc = self.lint(f)
+        self.assert_fires(proc, "REV-1")
+        self.assertIn("set_weight", proc.stderr)
+        # the offending path is printed as a block-level chain ending in
+        # the early return
+        self.assertIn("entry@L", proc.stderr)
+        self.assertIn("return@L", proc.stderr)
+
+    def test_seeded_audit_api2_is_blind_to_the_same_bug(self) -> None:
+        """The mandated differential: the closure DOES reach bump_value,
+        so API-2's whole-closure boolean is satisfied; only the
+        path-sensitive analysis reports the unbumped early return."""
+        f = self.write("src/graph/sg_rev2.cpp", self.EARLY_RETURN)
+        proc = self.lint(f)
+        self.assert_fires(proc, "REV-1")
+        self.assertNotIn("API-2", proc.stderr + proc.stdout)
+
+    def test_bump_on_every_path_is_clean(self) -> None:
+        f = self.write("src/graph/sg_ok.cpp", """
+class SocialGraph {
+ public:
+  void set_weight(unsigned a, unsigned w) {
+    if (w == 0) {
+      weight_ = 0;
+      bump_value(a);
+      return;
+    }
+    weight_ = w;
+    bump_value(a);
+  }
+ private:
+  void bump_value(unsigned a) { rev_ = rev_ + 1; }
+  unsigned weight_ = 0;
+  unsigned rev_ = 0;
+};
+""")
+        self.assert_clean(self.lint(f))
+
+    GUARDED = """
+class SocialGraph {
+ public:
+  bool link(unsigned a, unsigned b) {
+    const bool added = insert_half(a, b);
+    const bool added_rev = insert_half(b, a);
+    if (added || added_rev) bump_structure(a, b);
+    return added;
+  }
+ private:
+  bool insert_half(unsigned f, unsigned t) {
+    edges_ = edges_ + 1;
+    return true;
+  }
+  void bump_structure(unsigned a, unsigned b) { rev_ = rev_ + 1; }
+  unsigned edges_ = 0;
+  unsigned rev_ = 0;
+};
+"""
+
+    def test_guarded_commit_idiom_is_clean(self) -> None:
+        f = self.write("src/graph/sg_guard.cpp", self.GUARDED)
+        self.assert_clean(self.lint(f))
+
+    def test_discarded_helper_result_fires(self) -> None:
+        """The real-tree bug shape: the second half-edge insert's result
+        is dropped, so that commit is not covered by the guarded bump."""
+        f = self.write("src/graph/sg_drop.cpp", self.GUARDED.replace(
+            "const bool added_rev = insert_half(b, a);",
+            "insert_half(b, a);").replace(
+            "if (added || added_rev)", "if (added)"))
+        proc = self.lint(f)
+        self.assert_fires(proc, "REV-1")
+        self.assertIn("insert_half", proc.stderr)
+
+    def test_representation_fields_are_not_observable(self) -> None:
+        f = self.write("src/graph/sg_repr.cpp", """
+class SocialGraph {
+ public:
+  void compact(unsigned n) {
+    overlay_count_ = n;
+    tombstones_ = 0;
+  }
+ private:
+  unsigned overlay_count_ = 0;
+  unsigned tombstones_ = 0;
+};
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_epoch_counter_write_counts_as_bump(self) -> None:
+        f = self.write("src/graph/sg_epoch.cpp", """
+class SocialGraph {
+ public:
+  void grow(unsigned n) {
+    nodes_ = n;
+    epoch_ = epoch_ + 1;
+  }
+ private:
+  unsigned nodes_ = 0;
+  unsigned epoch_ = 0;
+};
+""")
+        self.assert_clean(self.lint(f))
+
+
+class Rev2RepresentationTests(LintFixtureCase):
+    """REV-2: representation-only entry points must not advance
+    revision witnesses."""
+
+    def test_rebuild_reaching_bump_fires(self) -> None:
+        f = self.write("src/graph/sg_rb.cpp", """
+class SocialGraph {
+ public:
+  void rebuild() { compact(); }
+ private:
+  void compact() {
+    packed_ = 1;
+    bump();
+  }
+  void bump() { rev_ = rev_ + 1; }
+  unsigned packed_ = 0;
+  unsigned rev_ = 0;
+};
+""")
+        proc = self.lint(f)
+        self.assert_fires(proc, "REV-2")
+        self.assertIn("rebuild", proc.stderr)
+
+    def test_rebuild_without_bump_is_clean(self) -> None:
+        f = self.write("src/graph/sg_rb_ok.cpp", """
+class SocialGraph {
+ public:
+  void rebuild() { packed_ = 1; }
+ private:
+  unsigned packed_ = 0;
+};
+""")
+        self.assert_clean(self.lint(f))
+
+
+class Exc1ExceptionSafetyTests(LintFixtureCase):
+    """EXC-1: committed writes may not precede throwing work unless
+    rolled back or the method is noexcept."""
+
+    def test_write_before_allocating_call_fires(self) -> None:
+        f = self.write("src/graph/sg_exc.cpp", """
+#include <vector>
+class SocialGraph {
+ public:
+  void add(unsigned v) {
+    count_ = count_ + 1;
+    log_.push_back(v);
+    bump();
+  }
+ private:
+  void bump() { rev_ = rev_ + 1; }
+  unsigned count_ = 0;
+  unsigned rev_ = 0;
+  std::vector<unsigned> log_;
+};
+""")
+        proc = self.lint(f)
+        self.assert_fires(proc, "EXC-1")
+        self.assertIn("push_back", proc.stderr)
+
+    def test_noexcept_method_is_exempt(self) -> None:
+        f = self.write("src/graph/sg_noexc.cpp", """
+#include <vector>
+class SocialGraph {
+ public:
+  void add(unsigned v) noexcept {
+    count_ = count_ + 1;
+    log_.push_back(v);
+    bump();
+  }
+ private:
+  void bump() { rev_ = rev_ + 1; }
+  unsigned count_ = 0;
+  unsigned rev_ = 0;
+  std::vector<unsigned> log_;
+};
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_validate_before_mutate_is_clean(self) -> None:
+        f = self.write("src/graph/sg_val.cpp", """
+#include <vector>
+class SocialGraph {
+ public:
+  void add(unsigned v) {
+    log_.push_back(v);
+    count_ = count_ + 1;
+    bump();
+  }
+ private:
+  void bump() { rev_ = rev_ + 1; }
+  unsigned count_ = 0;
+  unsigned rev_ = 0;
+  std::vector<unsigned> log_;
+};
+""")
+        self.assert_clean(self.lint(f))
+
+    def test_catch_rollback_discharges(self) -> None:
+        f = self.write("src/graph/sg_rb2.cpp", """
+#include <vector>
+class SocialGraph {
+ public:
+  void add(unsigned v) {
+    count_ = count_ + 1;
+    try {
+      log_.push_back(v);
+    } catch (...) {
+      count_ = count_ - 1;
+      throw;
+    }
+    bump();
+  }
+ private:
+  void bump() { rev_ = rev_ + 1; }
+  unsigned count_ = 0;
+  unsigned rev_ = 0;
+  std::vector<unsigned> log_;
+};
+""")
+        proc = self.lint(f)
+        self.assertNotIn("EXC-1", proc.stderr + proc.stdout)
+
+    def test_catch_without_rollback_fires(self) -> None:
+        f = self.write("src/graph/sg_norb.cpp", """
+#include <vector>
+class SocialGraph {
+ public:
+  void add(unsigned v) {
+    count_ = count_ + 1;
+    try {
+      log_.push_back(v);
+    } catch (...) {
+      dropped_ = dropped_ + 1;
+    }
+    bump();
+  }
+ private:
+  void bump() { rev_ = rev_ + 1; }
+  unsigned count_ = 0;
+  unsigned rev_ = 0;
+  unsigned dropped_ = 0;
+  std::vector<unsigned> log_;
+};
+""")
+        proc = self.lint(f)
+        self.assert_fires(proc, "EXC-1")
+
+
+class Shd1PhaseDisciplineTests(LintFixtureCase):
+    """SHD-1: ShardState ownership and boundary-state discipline."""
+
+    def test_boundary_write_outside_exchange_fires(self) -> None:
+        f = self.write("src/shard/agg.cpp", """
+#include <vector>
+struct ShardSummary { unsigned long pair_count = 0; };
+class ShardedAggregator {
+ public:
+  void tally(unsigned long s) {
+    shards_[s]->summary = ShardSummary{};
+  }
+ private:
+  struct ShardState {
+    unsigned long seq = 0;
+    ShardSummary summary;
+  };
+  std::vector<ShardState*> shards_;
+};
+""")
+        proc = self.lint(f)
+        self.assert_fires(proc, "SHD-1")
+        self.assertIn("summary", proc.stderr)
+
+    def test_boundary_write_in_build_summary_is_clean(self) -> None:
+        f = self.write("src/shard/agg_ok.cpp", """
+#include <vector>
+struct ShardSummary { unsigned long pair_count = 0; };
+class ShardedAggregator {
+ public:
+  void build_summary(unsigned long s) {
+    shards_[s]->summary = ShardSummary{};
+  }
+ private:
+  struct ShardState {
+    unsigned long seq = 0;
+    ShardSummary summary;
+  };
+  std::vector<ShardState*> shards_;
+};
+""")
+        self.assert_clean(self.lint(f))
+
+    WORKER = """
+#include <vector>
+class Pool;
+class ShardedAggregator {
+ public:
+  void update(Pool& pool);
+ private:
+  struct ShardState { unsigned long seq = 0; };
+  void %s(unsigned long s) { shards_[s]->seq = 1; }
+  std::vector<ShardState*> shards_;
+};
+void ShardedAggregator::update(Pool& pool) {
+  pool.parallel_for(4, [this](unsigned long s) { %s(s); });
+}
+"""
+
+    def test_worker_write_outside_phase_closure_fires(self) -> None:
+        f = self.write("src/shard/agg_w.cpp",
+                       self.WORKER % ("poke", "poke"))
+        proc = self.lint(f)
+        self.assert_fires(proc, "SHD-1")
+        self.assertIn("seq", proc.stderr)
+        self.assertIn("parallel_for", proc.stderr)  # worker witness chain
+
+    def test_worker_write_inside_phase_closure_is_clean(self) -> None:
+        f = self.write("src/shard/agg_p.cpp",
+                       self.WORKER % ("shard_phase_a", "shard_phase_a"))
+        proc = self.lint(f)
+        self.assertNotIn("SHD-1", proc.stderr + proc.stdout)
+
+
+class ChangedOnlyRenameTests(LintFixtureCase):
+    """--changed-only follows git renames: the new path is re-linted."""
+
+    def _git(self, *args: str) -> str:
+        proc = subprocess.run(["git", "-C", str(self.root), *args],
+                              capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        return proc.stdout
+
+    def test_changed_files_follows_renames(self) -> None:
+        from stlint.cli import changed_files
+        self._git("init", "-q")
+        self._git("config", "user.email", "test@example.invalid")
+        self._git("config", "user.name", "test")
+        # several lines so the one-line edit stays above git's 50%
+        # rename-similarity threshold (a fully-rewritten 1-liner would
+        # surface as A + D, which is exactly the case we must not hit)
+        body = ("int f() {{ return {0}; }}\n"
+                "int g() {{ return 10; }}\n"
+                "int h() {{ return 20; }}\n"
+                "int k() {{ return 30; }}\n")
+        self.write("src/core/old_name.cpp", body.format(1))
+        self._git("add", "-A")
+        self._git("commit", "-q", "-m", "base")
+        base = self._git("rev-parse", "HEAD").strip()
+
+        # rename + small edit: shows up as an R0xx row, not A/D
+        old = self.root / "src" / "core" / "old_name.cpp"
+        new = self.root / "src" / "core" / "new_name.cpp"
+        old.rename(new)
+        new.write_text(body.format(2), encoding="utf-8")
+        self._git("add", "-A")
+        self._git("commit", "-q", "-m", "rename")
+        status = self._git("diff", "--name-status", "--find-renames", base)
+        self.assertIn("R", status.split()[0])
+
+        changed = changed_files(merge_ref=base, repo_root=self.root)
+        self.assertIn("src/core/new_name.cpp", changed)
+        self.assertNotIn("src/core/old_name.cpp", changed)
+
+
+class SarifHelpUriTests(LintFixtureCase):
+    def test_rules_link_to_catalogue_anchors(self) -> None:
+        f = self.write("src/core/bad.cpp", "int f() { return rand(); }\n")
+        proc = run_lint("--sarif", str(f))
+        doc = json.loads(proc.stdout)
+        rules = {r["id"]: r for r in
+                 doc["runs"][0]["tool"]["driver"]["rules"]}
+        for rule in ("REV-1", "REV-2", "EXC-1", "SHD-1"):
+            self.assertIn(rule, rules)
+            self.assertEqual(rules[rule]["helpUri"],
+                             f"docs/STATIC_ANALYSIS.md#{rule.lower()}")
+
+
 if __name__ == "__main__":
     unittest.main(verbosity=2)

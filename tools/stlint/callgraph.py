@@ -83,6 +83,10 @@ class CallGraph:
         index = self.index
         if call.get("qual"):
             return list(index.by_qname.get(f"{call['qual']}::{name}", []))
+        # `auto f = [..]{..}; ... f(...)` — the local *is* the lambda
+        if not call.get("recv") and \
+                name in (fn.get("lambda_locals") or {}):
+            return [fn["_base"] + fn["lambda_locals"][name]]
         if call.get("recv") and call["recv"] != "this":
             rtype = self._receiver_type(fn, call["recv"])
             if rtype is not None:
@@ -170,6 +174,15 @@ class CallGraph:
                 seeds.append(WorkerInfo(
                     gid, False,
                     f"{call['name']} at {fn['_file']}:{call['line']}"))
+            # a lambda-typed local passed by *name* into a dispatcher
+            # (`auto work = [&]{..}; pool->parallel_for(n, work);`) runs
+            # on workers just like an inline literal
+            ll = fn.get("lambda_locals") or {}
+            for arg in call["args"]:
+                if arg in ll:
+                    seeds.append(WorkerInfo(
+                        fn["_base"] + ll[arg], False,
+                        f"{call['name']} at {fn['_file']}:{call['line']}"))
         best: dict[int, WorkerInfo] = {}
         queue = list(seeds)
         while queue:
@@ -195,8 +208,17 @@ class CallGraph:
             return True  # free function: no instance state to speak of
         recv = call.get("recv", "")
         if recv and recv != "this":
-            if recv in caller["locals"]:
-                return True  # method on a worker-private object
+            # locals and params of the caller — or, for a lambda, of any
+            # enclosing function whose frame the capture aliases — are
+            # worker-private (by-ref params propagate their own caller's
+            # locality transitively through the witness chain)
+            cur = caller
+            while True:
+                if recv in cur["locals"]:
+                    return True
+                if cur["parent"] < 0:
+                    break
+                cur = self.index.functions[cur["_base"] + cur["parent"]]
             if caller["cls"] and \
                     self.index.field_of(caller["cls"], recv) is not None:
                 # member sub-object: as local as the caller's instance

@@ -32,7 +32,8 @@ from .core import (CXX_SUFFIXES, DEFAULT_PATHS, EXCLUDED_DIR_NAMES,
                    SourceFile, load_file, rel_path)
 from .index import (IndexCache, ProjectIndex, alias_fingerprint,
                     build_facts, content_hash)
-from .rules import concurrency, determinism, hygiene, interproc, obs_docs
+from .rules import (concurrency, determinism, hygiene, interproc, obs_docs,
+                    protocol)
 from .scopes import collect_aliases
 
 DEFAULT_BUDGET = REPO_ROOT / "tools" / "lint_budget.json"
@@ -164,6 +165,7 @@ def run(paths: list[Path], strict: bool, obs_doc: Path | None = None,
 
     # Stage D: whole-program rules from facts (cheap, never cached).
     interproc.check(index, graph, findings)
+    protocol.check(index, graph, findings)
     obs_docs.check_tree_facts(index, obs_doc, findings)
     allow_sites = sum(index.files[rel].get("allow_sites", 0)
                       for rel in rels)
@@ -180,14 +182,19 @@ def run(paths: list[Path], strict: bool, obs_doc: Path | None = None,
     return findings, len(rels), allow_sites
 
 
-def changed_files(merge_ref: str = "origin/main") -> set[str]:
+def changed_files(merge_ref: str = "origin/main",
+                  repo_root: Path | None = None) -> set[str]:
     """Repo-relative posix paths changed vs the merge base (plus any
     uncommitted/untracked files). Falls back to HEAD when the ref does
-    not exist (e.g. no origin remote)."""
+    not exist (e.g. no origin remote). Renames are followed
+    (--find-renames): the *new* path of a renamed file is reported, so a
+    rename-plus-edit is re-linted instead of silently skipped."""
+    root = repo_root if repo_root is not None else REPO_ROOT
+
     def git(*args: str) -> str:
         try:
             return subprocess.run(
-                ["git", "-C", str(REPO_ROOT), *args],
+                ["git", "-C", str(root), *args],
                 capture_output=True, text=True, check=False).stdout
         except OSError:
             return ""
@@ -195,9 +202,23 @@ def changed_files(merge_ref: str = "origin/main") -> set[str]:
     base = git("merge-base", "HEAD", merge_ref).strip()
     if not base:
         base = "HEAD"
-    names = git("diff", "--name-only", base).splitlines()
-    names += git("ls-files", "--others", "--exclude-standard").splitlines()
-    return {n.strip() for n in names if n.strip()}
+    out: set[str] = set()
+    # --name-status rows: "M\tpath", "A\tpath", "R095\told\tnew", ...
+    for row in git("diff", "--name-status", "--find-renames",
+                   base).splitlines():
+        parts = row.split("\t")
+        if len(parts) < 2:
+            continue
+        status = parts[0].strip()
+        if status.startswith(("R", "C")) and len(parts) >= 3:
+            out.add(parts[2].strip())  # renamed/copied: lint the new path
+        elif not status.startswith("D"):
+            out.add(parts[1].strip())
+    for name in git("ls-files", "--others",
+                    "--exclude-standard").splitlines():
+        if name.strip():
+            out.add(name.strip())
+    return {n for n in out if n}
 
 
 def to_sarif(findings: list[Finding]) -> dict:
@@ -212,7 +233,9 @@ def to_sarif(findings: list[Finding]) -> dict:
                 "informationUri":
                     "https://github.com/socialtrust/socialtrust",
                 "rules": [{"id": rule,
-                           "shortDescription": {"text": text}}
+                           "shortDescription": {"text": text},
+                           "helpUri": f"docs/STATIC_ANALYSIS.md"
+                                      f"#{rule.lower()}"}
                           for rule, text in sorted(RULES.items())],
             }},
             "results": [{

@@ -45,6 +45,18 @@ RULES = {
     "API-2": "SocialGraph/InterestProfiles mutation path that never "
              "reaches a revision bump, or an accessor callable from "
              "inside rebuild()",
+    "REV-1": "path-sensitive revision protocol: a path through a public "
+             "mutator commits an observable member write but returns "
+             "without reaching bump()/bump_structure()/bump_value()",
+    "REV-2": "representation-only entry point (rebuild/materialize/"
+             "begin_interval) reaches a revision bump, spuriously "
+             "invalidating O(changed) reuse",
+    "EXC-1": "committed member write in a mutator precedes a potentially-"
+             "throwing call without rollback or noexcept; an exception "
+             "strands un-bumped state",
+    "SHD-1": "ShardState written outside the owning shard_phase_* compute "
+             "closure, or boundary summary/rep_view state written outside "
+             "the exchange/merge functions",
     "OBS-1": "metric name not snake_case, not unique, or missing from "
              "docs/OBSERVABILITY.md",
     "OBS-2": "metric documented in docs/OBSERVABILITY.md but registered "
@@ -68,6 +80,17 @@ CON2_ALLOWED_PREFIXES: tuple[str, ...] = ()
 # necessarily spell .lock()/.unlock(); everything else stays RAII-only.
 LOCK2_ALLOWED_PREFIXES = ("src/util/thread_annotations.",)
 OBS_SCOPE_PREFIXES = ("src/",)
+
+# Shared between API-2 (v3, whole-closure) and the REV family (v4,
+# path-sensitive) so the two layers agree on what counts as protocol-
+# observable. Entry points that reorganise storage without changing
+# observable values need no bump (REV-2 *forbids* one); writes to
+# representation buffers are maintenance, not mutation; writing an
+# epoch/revision counter IS the protocol.
+REPRESENTATION_ONLY = {"begin_interval", "rebuild", "maybe_rebuild",
+                       "materialize", "materialize_rel", "materialize_int"}
+REPR_FIELD_MARKERS = ("overlay", "tombstone", "scratch", "rebuilds_")
+BUMP_FIELD_MARKERS = ("epoch_", "revision")
 
 ALLOW_RE = re.compile(r"//\s*st-lint:\s*allow\(\s*([A-Za-z]+-?\d*)\s*([^)]*)\)")
 NOLINT_RE = re.compile(r"//\s*NOLINT(NEXTLINE)?\b(\(([^)]*)\))?(.*)")

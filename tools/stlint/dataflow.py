@@ -1,0 +1,116 @@
+"""Forward dataflow over cfg.py block graphs (v4).
+
+Two entry points:
+
+  * ``solve`` — classic worklist iteration. States are frozensets; the
+    caller supplies ``transfer(block_id, in_state) -> out_state`` (a
+    gen/kill function replaying the block's ordered events) and picks the
+    meet: ``"union"`` for may-analyses (is there *a* path on which a fact
+    holds?) or ``"intersect"`` for must-analyses (does it hold on *every*
+    path?). Returns the fixed-point in-state per block.
+
+  * ``find_trace`` — once ``solve`` says a bad block exists, BFS over
+    (block, state) pairs from the entry reconstructs one concrete witness
+    path, shortest first, so REV-1 can print the offending chain the way
+    LOCK-4 prints lock orders.
+
+States stay tiny (a handful of write sites per mutator), so the product
+space in ``find_trace`` is bounded; a hard iteration cap keeps degenerate
+graphs from spinning.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable
+
+State = frozenset
+EMPTY: State = frozenset()
+
+_MAX_STEPS = 20000
+
+
+def solve(blocks: list[dict], entry: int, init: State,
+          transfer: Callable[[int, State], State],
+          meet: str = "union",
+          exc_transfer: Callable[[int, State], State] | None = None,
+          ) -> dict[int, State]:
+    """Fixed-point in-states. Unreached blocks are absent from the result.
+
+    When ``exc_transfer`` is given, edges into catch-head blocks carry its
+    output instead of the normal out-state: exceptional control leaves a
+    block *mid-flight* at the throwing call, so facts established after
+    that point must not reach the handler."""
+    preds: dict[int, list[int]] = {i: [] for i in range(len(blocks))}
+    for i, b in enumerate(blocks):
+        for s in b["s"]:
+            preds[s].append(i)
+
+    ins: dict[int, State] = {entry: init}
+    outs: dict[int, tuple[State, State]] = {}
+    work = deque([entry])
+    steps = 0
+    while work and steps < _MAX_STEPS:
+        steps += 1
+        bid = work.popleft()
+        out = transfer(bid, ins[bid])
+        eout = exc_transfer(bid, ins[bid]) if exc_transfer else out
+        if outs.get(bid) == (out, eout):
+            continue
+        outs[bid] = (out, eout)
+        for succ in blocks[bid]["s"]:
+            exc_edge = exc_transfer is not None and \
+                blocks[succ]["k"] == "catch"
+            reached = [outs[p][1 if exc_edge else 0]
+                       for p in preds[succ] if p in outs]
+            if not reached:
+                continue
+            if meet == "union":
+                new_in = frozenset().union(*reached)
+            else:
+                new_in = frozenset.intersection(*reached)
+            if succ not in ins or ins[succ] != new_in:
+                ins[succ] = new_in
+                work.append(succ)
+    return ins
+
+
+def find_trace(blocks: list[dict], entry: int, init: State,
+               transfer: Callable[[int, State], State],
+               is_bad: Callable[[int, State], bool]) -> list[int]:
+    """Shortest entry-rooted block path reaching a (block, in-state) pair
+    for which ``is_bad`` holds. Empty list when no such pair is reachable."""
+    start = (entry, init)
+    parents: dict[tuple[int, State], tuple[int, State] | None] = {start: None}
+    work = deque([start])
+    steps = 0
+    while work and steps < _MAX_STEPS:
+        steps += 1
+        bid, state = work.popleft()
+        if is_bad(bid, state):
+            path: list[int] = []
+            node: tuple[int, State] | None = (bid, state)
+            while node is not None:
+                path.append(node[0])
+                node = parents[node]
+            path.reverse()
+            return path
+        out = transfer(bid, state)
+        for succ in blocks[bid]["s"]:
+            key = (succ, out)
+            if key not in parents:
+                parents[key] = (bid, state)
+                work.append(key)
+    return []
+
+
+def reachable(blocks: list[dict], roots: Iterable[int]) -> set[int]:
+    """Blocks reachable from ``roots`` by successor edges (roots included)."""
+    seen = set(roots)
+    work = deque(seen)
+    while work:
+        for succ in blocks[work.popleft()]["s"]:
+            if succ not in seen:
+                seen.add(succ)
+                work.append(succ)
+    return seen

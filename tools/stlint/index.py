@@ -25,11 +25,12 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 
+from .cfg import build_cfg
 from .core import SourceFile
 from .lexer import Token
 from .scopes import (Scope, _match_backward, match_forward, skip_template)
 
-FACTS_VERSION = 6  # bump when the fact schema changes (invalidates caches)
+FACTS_VERSION = 8  # bump when the fact schema changes (invalidates caches)
 
 ACCESS_SPECIFIERS = {"public", "private", "protected"}
 CALL_KEYWORDS = {"if", "for", "while", "switch", "catch", "sizeof",
@@ -116,22 +117,43 @@ def _param_list(code: list[Token], open_paren: int,
     return params
 
 
-def _function_head(code: list[Token], scope: Scope) -> tuple[int, int, bool]:
-    """(open_paren, close_paren, const) of the function scope's signature;
-    open_paren == -1 when no parameter list was found (e.g. `] {`)."""
+def _function_head(code: list[Token],
+                   scope: Scope) -> tuple[int, int, bool, bool]:
+    """(open_paren, close_paren, const, noexcept) of the function scope's
+    signature; open_paren == -1 when no parameter list was found
+    (e.g. `] {`)."""
     k = scope.start - 1
     is_const = False
+    is_noexcept = False
     while k >= 0 and ((code[k].kind == "ident") or
                       code[k].text in ("&", "&&", "->", "::", ">", "*")):
         if code[k].kind == "ident" and code[k].text == "const":
             is_const = True
+        if code[k].kind == "ident" and code[k].text == "noexcept":
+            is_noexcept = True
         if code[k].text == ">":  # trailing return `-> T<..>`: keep walking
             k = _match_backward(code, k, "<", ">")
         k -= 1
     if k >= 0 and code[k].text == ")":
         open_paren = _match_backward(code, k, "(", ")")
-        return open_paren, k, is_const
-    return -1, -1, is_const
+        if open_paren - 1 >= 0 and \
+                code[open_paren - 1].kind == "ident" and \
+                code[open_paren - 1].text == "noexcept":
+            # the parens we found were `noexcept(cond)`: treat a bare
+            # `noexcept(true)` as noexcept, anything else as throwing
+            cond = " ".join(t.text for t in code[open_paren + 1:k])
+            is_noexcept = cond == "true"
+            k = open_paren - 1
+            while k >= 0 and code[k].kind == "ident":
+                if code[k].text == "const":
+                    is_const = True
+                k -= 1
+            if k >= 0 and code[k].text == ")":
+                open_paren = _match_backward(code, k, "(", ")")
+                return open_paren, k, is_const, is_noexcept
+            return -1, -1, is_const, is_noexcept
+        return open_paren, k, is_const, is_noexcept
+    return -1, -1, is_const, is_noexcept
 
 
 def _collect_locals(code: list[Token], lo: int, hi: int,
@@ -234,6 +256,8 @@ def _chain_back(code: list[Token], k: int, lo: int) -> tuple[str, str, bool]:
                 continue
             if t.text == "this":
                 return "this", member, sub
+            if t.text in CALL_KEYWORDS:  # `return x_ = v;` bottoms out here
+                return "", member, sub
             return t.text, member, sub
         return "", member, sub
     return "", member, sub
@@ -468,7 +492,7 @@ def _scan_function(code: list[Token], scope: Scope, fn_id: int,
         cls, name = _split_qname(scope.name or f"<anon@{code[scope.start].line}>",
                                  scope)
         qname = f"{cls}::{name}" if cls else name
-    open_p, close_p, is_const = _function_head(code, scope)
+    open_p, close_p, is_const, is_noexcept = _function_head(code, scope)
     params = _param_list(code, open_p, close_p) if open_p >= 0 else []
     lo = scope.start + 1
     hi = scope.end if scope.end >= 0 else len(code)
@@ -485,7 +509,7 @@ def _scan_function(code: list[Token], scope: Scope, fn_id: int,
     rec: dict = {
         "id": fn_id, "qname": qname, "name": name, "cls": cls,
         "kind": scope.kind, "line": code[scope.start].line,
-        "const": is_const, "parent": parent_id,
+        "const": is_const, "noexcept": is_noexcept, "parent": parent_id,
         "params": params,
         "locals": sorted(locals_map),
         "local_types": locals_map,
@@ -493,7 +517,62 @@ def _scan_function(code: list[Token], scope: Scope, fn_id: int,
         "start": scope.start, "end": hi,
     }
     _scan_body(code, lo, hi, rec, scope_ends, scope, scope_ids)
+    rec["ref_aliases"] = _collect_ref_aliases(code, lo, hi, rec)
+    events = [(w["tok"], "w", wi) for wi, w in enumerate(rec["writes"])]
+    events += [(c["tok"], "c", ci) for ci, c in enumerate(rec["calls"])]
+    rec["cfg"] = build_cfg(code, lo, hi, events)
     return rec
+
+
+def _collect_ref_aliases(code: list[Token], lo: int, hi: int,
+                         rec: dict) -> dict[str, list[str]]:
+    """`[const] T& name = chain;` declarations: name -> [root, member]
+    of the aliased object, so writes through the reference resolve to the
+    underlying (possibly member) field. `auto& st = *shards_[s];` maps
+    st -> ["shards_", ""]; `Summary& sum = st.summary;` maps
+    sum -> ["st", "summary"]."""
+    out: dict[str, list[str]] = {}
+    n = min(hi, len(code))
+    for j in range(lo, n - 2):
+        if code[j].text not in ("&", "&&") or code[j + 2].text != "=":
+            continue
+        name_t = code[j + 1]
+        if name_t.kind != "ident" or name_t.text in CALL_KEYWORDS:
+            continue
+        before = code[j - 1] if j > 0 else None
+        if before is None or not (before.kind == "ident" or
+                                  before.text == ">"):
+            continue  # not `Type&` — e.g. `a && b`, `x & y =` unlikely
+        if before.kind == "ident" and before.text in CALL_KEYWORDS:
+            continue
+        # forward-walk the initialiser chain: root [. member | [..] | *]
+        k = j + 3
+        while k < n and code[k].text in ("*", "(", "&"):
+            k += 1
+        if k >= n or code[k].kind != "ident":
+            continue
+        root = code[k].text
+        member = ""
+        if k + 1 < n and code[k + 1].text == "(":
+            continue  # call result; unknown target
+        m = k + 1
+        while m < n - 1 and code[m].text not in (";",):
+            if code[m].text == "[":
+                m = match_forward(code, m, "[", "]") + 1
+                continue
+            if code[m].text in (".", "->", "::") and \
+                    code[m + 1].kind == "ident":
+                nxt2 = code[m + 2].text if m + 2 < n else ""
+                if nxt2 == "(":
+                    break  # `root.back()` — alias into root itself
+                member = code[m + 1].text  # first hop is the field written
+            break
+        if root == "this":
+            root, member = member, ""
+            if not root:
+                continue
+        out[name_t.text] = [root, member]
+    return out
 
 
 def _scan_body(code: list[Token], lo: int, hi: int, rec: dict,
@@ -560,11 +639,18 @@ def _scan_body(code: list[Token], lo: int, hi: int, rec: dict,
                             code[j - 2].kind == "ident":
                         qual = code[j - 2].text
                     args, lambdas = _call_args(code, j + 1, close, scope)
-                    rec["calls"].append({
+                    call_rec = {
                         "name": t.text, "line": t.line, "tok": j,
                         "recv": recv, "qual": qual, "args": args,
                         "lambdas": [scope_ids[s.start] for s in lambdas
-                                    if s.start in scope_ids]})
+                                    if s.start in scope_ids]}
+                    # `x = call(...)` — remember the local the result
+                    # lands in (guarded-commit discharge keys on it)
+                    if prev_txt == "=" and j >= 2 and \
+                            code[j - 2].kind == "ident" and \
+                            (j < 3 or code[j - 3].text not in (".", "->")):
+                        call_rec["asg"] = code[j - 2].text
+                    rec["calls"].append(call_rec)
                     # mutating container calls double as writes
                     if t.text in MUTATING_METHODS and prev_txt in (".", "->"):
                         root, member, sub = _chain_back(code, j - 2,
@@ -716,6 +802,30 @@ def _has_sink(code: list[Token], lo: int, hi: int) -> bool:
     return False
 
 
+def _lambda_assign_name(code: list[Token], scope: Scope) -> str:
+    """The local a lambda literal is assigned to: walks back from the
+    lambda's `{` over the head (`-> ret`, `mutable`, params, captures)
+    looking for `name = [`. Empty string for inline lambda arguments."""
+    k = scope.start - 1
+    while k >= 0 and ((code[k].kind == "ident") or
+                      code[k].text in ("&", "&&", "->", "::", ">", "*")):
+        if code[k].text == ">":
+            k = _match_backward(code, k, "<", ">")
+        k -= 1
+    if k >= 0 and code[k].text == ")":  # parameter list
+        k = _match_backward(code, k, "(", ")") - 1
+        while k >= 0 and code[k].kind == "ident":
+            k -= 1
+    if k < 0 or code[k].text != "]":  # capture list
+        return ""
+    k = _match_backward(code, k, "[", "]") - 1
+    if k >= 1 and code[k].text == "=" and code[k].kind == "punct" and \
+            code[k - 1].kind == "ident" and \
+            (k < 2 or code[k - 2].text not in (".", "->")):
+        return code[k - 1].text
+    return ""
+
+
 # --- accessors with lines (DET-4 needs the defining site) -------------------
 
 def _collect_accessor_sites(code: list[Token],
@@ -778,6 +888,18 @@ def build_facts(sf: SourceFile, aliases: set[str]) -> dict:
         parent_id = scope_ids.get(parent.start, -1) if parent else -1
         functions.append(_scan_function(code, s, i, parent_id, all_scopes,
                                         scope_ids))
+    # `auto f = [..](..) {..};` — record the local name a lambda is bound
+    # to on its *enclosing* function, so the call graph can resolve later
+    # `f(...)` calls (and dispatcher arguments passed by name) to the
+    # lambda's own function record.
+    for i, s in enumerate(fn_scopes):
+        fn = functions[i]
+        if fn["kind"] != "lambda" or fn["parent"] < 0:
+            continue
+        name = _lambda_assign_name(code, s)
+        if name:
+            functions[fn["parent"]].setdefault("lambda_locals",
+                                               {})[name] = i
     classes = {}
     for s in all_scopes:
         if s.kind == "class" and s.name:

@@ -24,15 +24,19 @@ never raw tokens — so they run whole-program on every lint, including
 from __future__ import annotations
 
 from ..callgraph import CallGraph
-from ..core import DET2_SCOPE_PREFIXES, Finding, in_scope
+from ..core import (BUMP_FIELD_MARKERS, DET2_SCOPE_PREFIXES,
+                    REPR_FIELD_MARKERS, REPRESENTATION_ONLY, Finding,
+                    in_scope)
 from ..index import ProjectIndex
 
 CON3_SCOPE_PREFIXES = ("src/",)
 API2_CLASSES = ("SocialGraph", "InterestProfiles")
 API2_BUMP_NAMES = {"bump", "bump_structure", "bump_value"}
-# Representation-only entry points: they reorganise storage (CSR arrays,
-# caches) without changing observable values, so no bump is required.
-API2_REPRESENTATION_ONLY = {"begin_interval"}
+# Representation-only entry points reorganise storage (CSR arrays,
+# caches) without changing observable values, so no bump is required —
+# the shared set in core.py keeps this aligned with REV-2, which
+# *forbids* a bump on these same entry points.
+API2_REPRESENTATION_ONLY = REPRESENTATION_ONLY
 
 
 def check(index: ProjectIndex, graph: CallGraph,
@@ -353,6 +357,11 @@ def check_api2(index: ProjectIndex, graph: CallGraph,
                     if root == "this" or (
                             root not in fn["locals"]
                             and index.field_of(cls, member) is not None):
+                        if any(m in member for m in BUMP_FIELD_MARKERS):
+                            bump_reached = True  # epoch counters ARE the protocol
+                            continue
+                        if any(m in member for m in REPR_FIELD_MARKERS):
+                            continue  # representation maintenance
                         writes_member = True
                         if write_site is None:
                             write_site = (fn["_file"], w["line"])
